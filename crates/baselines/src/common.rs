@@ -1,0 +1,126 @@
+//! Shared machinery for the baseline system models.
+
+use hyscale_device::timing::{GpuTiming, TrainerTiming};
+use hyscale_gnn::GnnKind;
+use hyscale_graph::DatasetSpec;
+use hyscale_sampler::{expected_workload, WorkloadStats};
+
+/// Per-iteration overhead of a Python DataLoader collation pipeline
+/// (PyG `NeighborLoader` worker hand-off + tensor assembly). Applies to
+/// the PyG baseline only; DGL-based systems use their own constant.
+pub const PYG_DATALOADER_OVERHEAD_S: f64 = 6e-3;
+
+/// Per-iteration overhead of the DGL/distributed stacks (PaGraph, P3,
+/// DistDGL): graph-store RPC, KVStore lookups, Python dispatch.
+pub const DGL_FRAMEWORK_OVERHEAD_S: f64 = 10e-3;
+
+/// A model-configuration row of paper Table V: each state-of-the-art
+/// comparison reuses the *competitor's* sample size and hidden dim.
+#[derive(Debug, Clone)]
+pub struct SotaConfig {
+    /// Neighbor fanouts, seed-side first.
+    pub fanouts: Vec<usize>,
+    /// Hidden feature dimension.
+    pub hidden_dim: usize,
+    /// Per-trainer mini-batch size.
+    pub batch_per_trainer: usize,
+}
+
+impl SotaConfig {
+    /// PaGraph row: fanout (25, 10), hidden 256.
+    pub fn pagraph() -> Self {
+        Self { fanouts: vec![25, 10], hidden_dim: 256, batch_per_trainer: 1024 }
+    }
+
+    /// P3 row: fanout (25, 10), hidden 32.
+    pub fn p3() -> Self {
+        Self { fanouts: vec![25, 10], hidden_dim: 32, batch_per_trainer: 1024 }
+    }
+
+    /// DistDGLv2 row: fanout (15, 10, 5), hidden 256.
+    pub fn distdgl() -> Self {
+        Self { fanouts: vec![15, 10, 5], hidden_dim: 256, batch_per_trainer: 1024 }
+    }
+
+    /// Layer dims for a dataset under this config.
+    pub fn layer_dims(&self, ds: &DatasetSpec) -> Vec<usize> {
+        let mut dims = vec![ds.f0];
+        for _ in 1..self.fanouts.len() {
+            dims.push(self.hidden_dim);
+        }
+        dims.push(ds.f2);
+        dims
+    }
+
+    /// Expected per-trainer batch workload on `ds`.
+    pub fn workload(&self, ds: &DatasetSpec) -> WorkloadStats {
+        expected_workload(ds.num_vertices, ds.avg_degree(), self.batch_per_trainer, &self.fanouts)
+    }
+}
+
+/// A baseline training system: produces epoch times for Table VI and
+/// normalized comparisons for Table VII.
+pub trait BaselineSystem {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Aggregate platform peak performance in TFLOPS (Table VII
+    /// normalization: "epoch time × platform peak performance").
+    fn platform_tflops(&self) -> f64;
+
+    /// Total seeds consumed per iteration across all trainers.
+    fn total_batch(&self, cfg: &SotaConfig) -> usize;
+
+    /// Simulated per-iteration latency.
+    fn iteration_time(&self, ds: &DatasetSpec, model: GnnKind, cfg: &SotaConfig) -> f64;
+
+    /// Simulated epoch time (labelled train set / total batch iterations).
+    fn epoch_time(&self, ds: &DatasetSpec, model: GnnKind, cfg: &SotaConfig) -> f64 {
+        let iters = ds.train_vertices.div_ceil(self.total_batch(cfg) as u64);
+        iters as f64 * self.iteration_time(ds, model, cfg)
+    }
+
+    /// Table VII metric: epoch seconds × platform TFLOPS.
+    fn normalized_epoch(&self, ds: &DatasetSpec, model: GnnKind, cfg: &SotaConfig) -> f64 {
+        self.epoch_time(ds, model, cfg) * self.platform_tflops()
+    }
+}
+
+/// GPU propagation time (with framework overhead) for one batch on a
+/// PyTorch/DGL-stack trainer.
+pub fn gpu_propagation_time(
+    gpu: &GpuTiming,
+    stats: &WorkloadStats,
+    dims: &[usize],
+    model: GnnKind,
+    framework_overhead: f64,
+) -> f64 {
+    gpu.propagation_time(stats, dims, model.update_width_factor()) + framework_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::dataset::OGBN_PRODUCTS;
+
+    #[test]
+    fn sota_configs_match_table_v() {
+        assert_eq!(SotaConfig::pagraph().fanouts, vec![25, 10]);
+        assert_eq!(SotaConfig::pagraph().hidden_dim, 256);
+        assert_eq!(SotaConfig::p3().hidden_dim, 32);
+        assert_eq!(SotaConfig::distdgl().fanouts, vec![15, 10, 5]);
+    }
+
+    #[test]
+    fn layer_dims_three_layer_for_distdgl() {
+        let dims = SotaConfig::distdgl().layer_dims(&OGBN_PRODUCTS);
+        assert_eq!(dims, vec![100, 256, 256, 47]);
+    }
+
+    #[test]
+    fn workload_positive() {
+        let w = SotaConfig::pagraph().workload(&OGBN_PRODUCTS);
+        assert!(w.input_nodes > 1024);
+        assert!(w.total_edges() > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! DistDGLv2 system model (paper Table V/VI; Zheng et al., KDD'22).
+//!
+//! 8 nodes, each 96 vCPU + 8× T4, 3-layer GraphSAGE with fanout
+//! (15, 10, 5). DistDGLv2 *does* train hybrid (CPU + GPU collaborate,
+//! like HyScale-GNN) but with a static task mapping, and the graph is
+//! METIS-partitioned across nodes, so a fraction of every mini-batch's
+//! input features is fetched from remote KVStores. With 64 T4s it posts
+//! the strongest absolute numbers in Table VI (the paper reaches 0.45×
+//! of it with 4 FPGAs — a win after normalization, Table VII).
+
+use crate::common::{
+    gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S,
+};
+use hyscale_device::calib;
+use hyscale_device::pcie::PcieLink;
+use hyscale_device::spec::{DeviceSpec, T4};
+use hyscale_device::stage::{LoaderModel, SamplerModel};
+use hyscale_device::timing::GpuTiming;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::DatasetSpec;
+
+/// A generic cloud-node CPU standing in for "96 vCPU" (Table V).
+const CLOUD_CPU: DeviceSpec = DeviceSpec {
+    name: "96 vCPU (cloud)",
+    kind: hyscale_device::spec::DeviceKind::Cpu,
+    peak_tflops: 2.4,
+    mem_bandwidth_gbs: 160.0,
+    mem_capacity_gb: 384.0,
+    freq_ghz: 2.5,
+    onchip_mb: 36.0,
+    cores: 48,
+};
+
+/// DistDGLv2 system model.
+pub struct DistDglV2 {
+    /// GPU spec (T4).
+    pub gpu: DeviceSpec,
+    /// GPUs per node (8).
+    pub gpus_per_node: usize,
+    /// Node count (8).
+    pub nodes: usize,
+    /// Fraction of sampled input vertices resident on remote partitions
+    /// (METIS keeps ~70 % local on power-law graphs).
+    pub remote_fraction: f64,
+    /// NIC bandwidth, GB/s.
+    pub nic_gbs: f64,
+}
+
+impl DistDglV2 {
+    /// The Table V configuration.
+    pub fn paper_setup() -> Self {
+        Self {
+            gpu: T4,
+            gpus_per_node: 8,
+            nodes: 8,
+            remote_fraction: 0.3,
+            nic_gbs: calib::NIC_BW_GBS,
+        }
+    }
+}
+
+impl BaselineSystem for DistDglV2 {
+    fn name(&self) -> &'static str {
+        "DistDGLv2"
+    }
+
+    fn platform_tflops(&self) -> f64 {
+        (self.gpu.peak_tflops * self.gpus_per_node as f64 + CLOUD_CPU.peak_tflops)
+            * self.nodes as f64
+    }
+
+    fn total_batch(&self, cfg: &SotaConfig) -> usize {
+        cfg.batch_per_trainer * self.gpus_per_node * self.nodes
+    }
+
+    fn iteration_time(&self, ds: &DatasetSpec, model: GnnKind, cfg: &SotaConfig) -> f64 {
+        let per_gpu = cfg.workload(ds);
+        let dims = cfg.layer_dims(ds);
+        let sampler = SamplerModel::default();
+        // distributed sampling across all nodes' vCPUs
+        let node_edges = per_gpu.total_edges() * self.gpus_per_node as u64;
+        let t_samp = sampler.sample_time(node_edges, CLOUD_CPU.cores)
+            // sampling RPCs to remote partition stores
+            + self.remote_fraction * DGL_FRAMEWORK_OVERHEAD_S;
+        // remote feature fetch over NIC, local over DRAM
+        let feat_bytes = per_gpu.feature_bytes(ds.f0);
+        let remote_bytes =
+            (feat_bytes as f64 * self.remote_fraction * self.gpus_per_node as f64) as u64;
+        let t_net = remote_bytes as f64 / (self.nic_gbs * 1e9);
+        let loader = LoaderModel::new(CLOUD_CPU, 1);
+        let mut local = per_gpu.clone();
+        local.input_nodes =
+            (local.input_nodes as f64 * (1.0 - self.remote_fraction)) as usize;
+        let t_load = loader.load_time(&local, ds.f0, CLOUD_CPU.cores) * self.gpus_per_node as f64;
+        // PCIe to each GPU (pinned; DGL v2 uses pinned buffers)
+        let pcie = PcieLink::new(calib::PCIE_EFF_BW_GBS, calib::PCIE_LATENCY_S);
+        let t_trans = pcie.transfer_time(feat_bytes + per_gpu.total_edges() * 8);
+        // hybrid static: GPU propagation with DGL overhead; the CPU takes
+        // a fixed ~15 % of the batch (static mapping, paper §VI-E2)
+        let gpu = GpuTiming::new(self.gpu);
+        let mut gpu_stats = per_gpu.clone();
+        gpu_stats.batch_size = (gpu_stats.batch_size as f64 * 0.85) as usize;
+        let t_gpu =
+            gpu_propagation_time(&gpu, &gpu_stats, &dims, model, DGL_FRAMEWORK_OVERHEAD_S);
+        // async pipeline (DistDGLv2's improvement over v1): fetch overlaps
+        // compute; sampling remains on the critical path
+        t_samp + (t_net + t_load).max(t_trans + t_gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::dataset::{OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+    #[test]
+    fn tflops_dominate_every_other_system() {
+        // 64 T4 + 8 cloud CPUs: the biggest platform in Table V
+        let d = DistDglV2::paper_setup();
+        assert!(d.platform_tflops() > 500.0);
+    }
+
+    #[test]
+    fn huge_total_batch_shortens_epochs() {
+        let d = DistDglV2::paper_setup();
+        let cfg = SotaConfig::distdgl();
+        assert_eq!(d.total_batch(&cfg), 64 * 1024);
+        // products: only 196k train vertices -> very few iterations
+        let iters = OGBN_PRODUCTS.train_vertices.div_ceil(d.total_batch(&cfg) as u64);
+        assert!(iters <= 4);
+    }
+
+    #[test]
+    fn epoch_band() {
+        // paper Table VI: DistDGLv2 products SAGE 0.30s, papers SAGE 4.16s
+        let d = DistDglV2::paper_setup();
+        let cfg = SotaConfig::distdgl();
+        let products = d.epoch_time(&OGBN_PRODUCTS, GnnKind::GraphSage, &cfg);
+        let papers = d.epoch_time(&OGBN_PAPERS100M, GnnKind::GraphSage, &cfg);
+        assert!(products > 0.05 && products < 5.0, "products {products}");
+        assert!(papers > products, "papers {papers}");
+    }
+}

@@ -1,0 +1,121 @@
+//! GraphACT/HP-GNN-style single-accelerator, device-resident baseline
+//! (paper §VII: "works like GraphACT [9] and HP-GNN [17] store the input
+//! graph in the device memory, and thus cannot support large-scale
+//! graphs").
+//!
+//! With the whole graph resident in device DRAM there is no per-batch
+//! PCIe traffic at all — these systems are *fast* on graphs that fit
+//! (ogbn-products) and simply *cannot run* on graphs that do not — the
+//! capacity cliff that motivates HyScale-GNN.
+
+use crate::common::SotaConfig;
+use hyscale_device::memory::check_device_placement;
+use hyscale_device::spec::{DeviceSpec, ALVEO_U250};
+use hyscale_device::stage::SamplerModel;
+use hyscale_device::timing::{FpgaTiming, TrainerTiming};
+use hyscale_gnn::GnnKind;
+use hyscale_graph::DatasetSpec;
+
+/// Why a device-resident run cannot proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Bytes the graph needs.
+    pub required_bytes: u64,
+    /// Device capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Dataset name.
+    pub dataset: &'static str,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} needs {:.1} GB but the device holds {:.1} GB",
+            self.dataset,
+            self.required_bytes as f64 / 1e9,
+            self.capacity_bytes as f64 / 1e9
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// GraphACT-style single-FPGA trainer with the graph in device memory.
+pub struct GraphActStyle {
+    /// The single accelerator.
+    pub device: DeviceSpec,
+    /// Kernel parallelism (reuses the paper's FPGA kernel model).
+    pub timing: FpgaTiming,
+}
+
+impl GraphActStyle {
+    /// A U250 with the Table IV kernel.
+    pub fn u250() -> Self {
+        Self { device: ALVEO_U250, timing: FpgaTiming::u250() }
+    }
+
+    /// Epoch time, or a capacity error when the graph cannot be
+    /// device-resident.
+    pub fn epoch_time(
+        &self,
+        ds: &DatasetSpec,
+        model: GnnKind,
+        cfg: &SotaConfig,
+    ) -> Result<f64, CapacityError> {
+        let placement = check_device_placement(ds, &self.device);
+        if !placement.fits {
+            return Err(CapacityError {
+                required_bytes: placement.graph_bytes,
+                capacity_bytes: placement.capacity_bytes,
+                dataset: ds.name,
+            });
+        }
+        let stats = cfg.workload(ds);
+        let dims = cfg.layer_dims(ds);
+        // sampling on the host CPU (GraphACT samples on CPU), zero PCIe
+        // for features (device-resident), propagation on the device
+        let sampler = SamplerModel::default();
+        let t_samp = sampler.sample_time(stats.total_edges(), 32);
+        let t_prop = self.timing.propagation_time(&stats, &dims, model.update_width_factor())
+            + self.timing.launch_overhead();
+        let iter = t_samp.max(t_prop); // GraphACT overlaps sampling
+        let iters = ds.train_vertices.div_ceil(cfg.batch_per_trainer as u64);
+        Ok(iters as f64 * iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::dataset::{MAG240M_HOMO, OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+    #[test]
+    fn runs_on_products() {
+        let g = GraphActStyle::u250();
+        let t = g.epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &SotaConfig::pagraph()).unwrap();
+        assert!(t > 0.0 && t < 60.0, "epoch {t}");
+    }
+
+    #[test]
+    fn refuses_large_graphs() {
+        let g = GraphActStyle::u250();
+        for ds in [OGBN_PAPERS100M, MAG240M_HOMO] {
+            let err = g.epoch_time(&ds, GnnKind::Gcn, &SotaConfig::pagraph()).unwrap_err();
+            assert!(err.required_bytes > err.capacity_bytes);
+            assert!(err.to_string().contains("GB"));
+        }
+    }
+
+    #[test]
+    fn no_pcie_makes_it_quick_per_seed() {
+        // device-resident: per-iteration cost is pure propagation, which
+        // must beat the hybrid system's *transfer* time for one batch
+        let g = GraphActStyle::u250();
+        let cfg = SotaConfig::pagraph();
+        let t = g.epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &cfg).unwrap();
+        let iters = OGBN_PRODUCTS.train_vertices.div_ceil(1024);
+        let per_iter = t / iters as f64;
+        assert!(per_iter < 0.02, "device-resident iteration {per_iter}s");
+    }
+}

@@ -1,0 +1,33 @@
+//! # hyscale-baselines
+//!
+//! The training systems HyScale-GNN is compared against, re-implemented
+//! as system-organization models over the shared substrates:
+//!
+//! * [`pyg::PygMultiGpu`] — the paper's multi-GPU PyTorch-Geometric
+//!   baseline (Fig. 10): GPU-only trainers, CPU used only for sampling
+//!   and loading, no prefetch overlap, pageable PCIe transfers.
+//! * [`pagraph::PaGraph`] — single node, 8× V100, degree-ordered device
+//!   feature cache (Table V/VI).
+//! * [`p3::P3`] — 4 nodes × 4 P100, intra-layer model parallelism with
+//!   push-pull activation exchange over the NIC (Table V/VI).
+//! * [`distdgl::DistDglV2`] — 8 nodes × 8 T4, partitioned graph with
+//!   hybrid-static CPU+GPU training (Table V/VI).
+//!
+//! Every system implements [`common::BaselineSystem`], producing epoch
+//! times for Table VI and normalized `sec × TFLOPS` for Table VII.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod distdgl;
+pub mod graphact;
+pub mod p3;
+pub mod pagraph;
+pub mod pyg;
+
+pub use common::{BaselineSystem, SotaConfig};
+pub use distdgl::DistDglV2;
+pub use graphact::GraphActStyle;
+pub use p3::P3;
+pub use pagraph::PaGraph;
+pub use pyg::PygMultiGpu;

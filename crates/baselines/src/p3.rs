@@ -1,0 +1,137 @@
+//! P3 system model (paper Table V/VI; Gandhi & Iyer, OSDI'21).
+//!
+//! 4 nodes, each 1× Xeon E5-2690 + 4× P100, hidden dim 32. P3's pitch:
+//! *push-pull parallelism* — input-layer features are partitioned across
+//! nodes and never moved; instead each node computes partial layer-1
+//! activations for every sampled vertex and exchanges the (hidden-width)
+//! partials over the network. The paper's critique (§VI-E2): "P3 incurs
+//! inter-node data communication ... which causes extra communication
+//! overhead compared with HyScale-GNN."
+
+use crate::common::{
+    gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S,
+};
+use hyscale_device::calib;
+use hyscale_device::pcie::PcieLink;
+use hyscale_device::spec::{DeviceSpec, P100, XEON_E5_2690};
+use hyscale_device::stage::SamplerModel;
+use hyscale_device::timing::GpuTiming;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::DatasetSpec;
+
+/// P3 system model.
+pub struct P3 {
+    /// GPU spec (P100).
+    pub gpu: DeviceSpec,
+    /// GPUs per node (4).
+    pub gpus_per_node: usize,
+    /// Node count (4).
+    pub nodes: usize,
+    /// Host CPU per node.
+    pub cpu: DeviceSpec,
+    /// NIC bandwidth between nodes, GB/s.
+    pub nic_gbs: f64,
+    /// Per-iteration pipeline-stall overhead: P3's push-pull runs two
+    /// extra all-to-all synchronisation rounds per layer, each a
+    /// distributed barrier over all 16 workers (straggler-bound).
+    pub pipeline_stall_s: f64,
+}
+
+impl P3 {
+    /// The Table V configuration.
+    pub fn paper_setup() -> Self {
+        Self {
+            gpu: P100,
+            gpus_per_node: 4,
+            nodes: 4,
+            cpu: XEON_E5_2690,
+            nic_gbs: calib::NIC_BW_GBS,
+            pipeline_stall_s: 20e-3,
+        }
+    }
+
+    /// Inter-node traffic per mini-batch: every sampled layer-1 vertex's
+    /// partial activation (hidden width) is exchanged with the other
+    /// `P-1` partitions (push), then the reduced activation is pulled
+    /// back — 2 crossings of `(P-1)/P` of the rows.
+    pub fn network_bytes(&self, cfg: &SotaConfig, ds: &DatasetSpec) -> u64 {
+        let w = cfg.workload(ds);
+        let v1 = *w.nodes_per_layer.first().unwrap_or(&0) as u64;
+        let frac = (self.nodes as f64 - 1.0) / self.nodes as f64;
+        (2.0 * v1 as f64 * cfg.hidden_dim as f64 * 4.0 * frac) as u64
+    }
+}
+
+impl BaselineSystem for P3 {
+    fn name(&self) -> &'static str {
+        "P3"
+    }
+
+    fn platform_tflops(&self) -> f64 {
+        (self.gpu.peak_tflops * self.gpus_per_node as f64 + self.cpu.peak_tflops)
+            * self.nodes as f64
+    }
+
+    fn total_batch(&self, cfg: &SotaConfig) -> usize {
+        cfg.batch_per_trainer * self.gpus_per_node * self.nodes
+    }
+
+    fn iteration_time(&self, ds: &DatasetSpec, model: GnnKind, cfg: &SotaConfig) -> f64 {
+        let per_gpu = cfg.workload(ds);
+        let dims = cfg.layer_dims(ds);
+        let sampler = SamplerModel::default();
+        // each node samples for its own GPUs
+        let node_edges = per_gpu.total_edges() * self.gpus_per_node as u64;
+        let t_samp = sampler.sample_time(node_edges, self.cpu.cores);
+        // P3 avoids raw-feature movement: only hidden-width partials
+        // cross the NIC (+ per-message latency for the all-to-all)
+        let net_bytes = self.network_bytes(cfg, ds) * self.gpus_per_node as u64;
+        let t_net = net_bytes as f64 / (self.nic_gbs * 1e9)
+            + (self.nodes * self.nodes) as f64 * calib::NIC_LATENCY_S;
+        // local feature slice to GPU over PCIe: 1/P of the input rows
+        let pcie = PcieLink::new(calib::PCIE_EFF_BW_GBS, calib::PCIE_LATENCY_S);
+        let local_bytes = per_gpu.feature_bytes(ds.f0) / self.nodes as u64;
+        let t_trans = pcie.transfer_time(local_bytes + per_gpu.total_edges() * 8);
+        // GPU propagation: the narrow hidden dim (32) makes compute cheap
+        let gpu = GpuTiming::new(self.gpu);
+        let t_gpu = gpu_propagation_time(&gpu, &per_gpu, &dims, model, DGL_FRAMEWORK_OVERHEAD_S);
+        // P3 pipelines push-pull with compute; sampling + the slower of
+        // (network, transfer+gpu) define the iteration, plus the
+        // per-iteration barrier stalls of the push-pull exchange
+        t_samp + t_net.max(t_trans + t_gpu) + self.pipeline_stall_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::dataset::{OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+    #[test]
+    fn network_traffic_scales_with_hidden_dim() {
+        let p = P3::paper_setup();
+        let narrow = SotaConfig::p3();
+        let mut wide = SotaConfig::p3();
+        wide.hidden_dim = 256;
+        assert!(
+            p.network_bytes(&wide, &OGBN_PRODUCTS) > 4 * p.network_bytes(&narrow, &OGBN_PRODUCTS)
+        );
+    }
+
+    #[test]
+    fn platform_tflops_counts_all_nodes() {
+        let p = P3::paper_setup();
+        assert!((p.platform_tflops() - 4.0 * (4.0 * 9.3 + 0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_magnitude_band() {
+        // paper Table VI: P3 products GCN 1.11s, papers100M GCN 2.61s
+        let p = P3::paper_setup();
+        let cfg = SotaConfig::p3();
+        let products = p.epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &cfg);
+        let papers = p.epoch_time(&OGBN_PAPERS100M, GnnKind::Gcn, &cfg);
+        assert!(products > 0.1 && products < 10.0, "products {products}");
+        assert!(papers > products * 1.5, "papers {papers} vs products {products}");
+    }
+}

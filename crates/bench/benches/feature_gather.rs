@@ -1,0 +1,26 @@
+//! Feature Loader gather throughput (paper Eq. 7's measured reality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyscale_graph::features::gather_features;
+use hyscale_tensor::init::randn;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feature_gather");
+    g.sample_size(10);
+    let table = randn(200_000, 128, 1);
+    let mut rng = SmallRng::seed_from_u64(9);
+    for &n in &[10_000usize, 50_000] {
+        let idx: Vec<u32> = (0..n).map(|_| rng.gen_range(0..200_000)).collect();
+        g.throughput(Throughput::Bytes((n * 128 * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("gather", n), &(), |b, ()| {
+            b.iter(|| black_box(gather_features(&table, &idx)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Neighbor-sampling throughput (the paper's T_SC "profiling", §V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyscale_graph::generator::{rmat, RmatConfig};
+use hyscale_sampler::{NeighborSampler, RandomWalkSampler};
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let graph = rmat(RmatConfig { scale: 14, avg_degree: 16, ..Default::default() }, 7)
+        .symmetrize();
+    let seeds: Vec<u32> = (0..512u32).collect();
+
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(10);
+    for fanouts in [vec![25usize, 10], vec![15, 10, 5]] {
+        let sampler = NeighborSampler::new(fanouts.clone(), 3);
+        let edges = sampler.sample(&graph, &seeds, 0).total_edges();
+        g.throughput(Throughput::Elements(edges));
+        g.bench_with_input(
+            BenchmarkId::new("neighbor", format!("{fanouts:?}")),
+            &(),
+            |b, ()| {
+                let mut stream = 0u64;
+                b.iter(|| {
+                    stream += 1;
+                    black_box(sampler.sample(&graph, &seeds, stream))
+                })
+            },
+        );
+    }
+    let walker = RandomWalkSampler::new(256, 4, 2, 5);
+    g.bench_function("random_walk/256x4", |b| {
+        let mut stream = 0u64;
+        b.iter(|| {
+            stream += 1;
+            black_box(walker.sample(&graph, &seeds, stream))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

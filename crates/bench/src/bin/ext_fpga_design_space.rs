@@ -1,0 +1,50 @@
+//! Ablation of the FPGA kernel design (paper §IV-C / Table IV): sweep
+//! the scatter-gather PE count `n` and systolic MAC count `m`, reporting
+//! resource feasibility and predicted propagation time — the
+//! aggregation/update balance that motivates the paper's (8, 2048)
+//! choice.
+
+use hyscale_bench::Table;
+use hyscale_device::fpga::resource::{ResourceUsage, U250_RESOURCES};
+use hyscale_device::spec::ALVEO_U250;
+use hyscale_device::timing::{FpgaTiming, TrainerTiming};
+use hyscale_sampler::expected_workload;
+use hyscale_graph::dataset::OGBN_PAPERS100M;
+
+fn main() {
+    println!("FPGA kernel design space (papers100M, GCN, batch 1024, fanout (25,10))\n");
+    let ds = OGBN_PAPERS100M;
+    let stats = expected_workload(ds.num_vertices, ds.avg_degree(), 1024, &[25, 10]);
+    let dims = [ds.f0, 256, ds.f2];
+
+    let mut t = Table::new(&["(n, m)", "DSP", "LUT", "fits", "agg (ms)", "upd (ms)", "prop (ms)"]);
+    for &(n, m) in &[
+        (2usize, 512usize),
+        (4, 1024),
+        (8, 1024),
+        (8, 2048),
+        (16, 2048),
+        (8, 4096),
+        (16, 4096),
+    ] {
+        let usage = ResourceUsage::estimate(n, m, &U250_RESOURCES);
+        let timing = FpgaTiming::new(ALVEO_U250, n, m);
+        let work = hyscale_device::timing::layer_work(&stats, &dims, 1);
+        let agg: f64 = work.iter().map(|w| timing.aggregate_time(w)).sum();
+        let upd: f64 = work.iter().map(|w| timing.update_time(w)).sum();
+        let prop = timing.propagation_time(&stats, &dims, 1);
+        t.row(vec![
+            format!("({n}, {m})"),
+            format!("{:.0}%", usage.dsp * 100.0),
+            format!("{:.0}%", usage.lut * 100.0),
+            usage.fits().to_string(),
+            format!("{:.3}", agg * 1e3),
+            format!("{:.3}", upd * 1e3),
+            format!("{:.3}", prop * 1e3),
+        ]);
+    }
+    t.print();
+    println!("\nthe paper's (8, 2048) balances the pipelined agg/update stages while");
+    println!("fitting the U250 (Table IV: LUT 72% DSP 90% URAM 48% BRAM 40%);");
+    println!("larger m overruns DSPs for little propagation gain (aggregation-bound).");
+}

@@ -1,0 +1,64 @@
+//! Regenerates paper Fig. 8: predicted vs. actual epoch time on
+//! MAG240M (homo) for GCN and GraphSAGE under a varying number of FPGAs.
+//!
+//! "Predicted" is the pure Eq. 5–13 performance model: analytic expected
+//! workloads, no launch or pipeline-flush overheads. "Actual" runs the
+//! functional executor on a materialized (scaled) MAG240M stand-in:
+//! stage times are driven by the *measured* workloads of really-sampled
+//! mini-batches, plus kernel-launch and flush overheads — the paper's
+//! §VI-C error sources. The paper reports 5–14 % average error.
+
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::{HybridTrainer, PerfModel, SystemConfig};
+use hyscale_bench::Table;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::MAG240M_HOMO;
+use hyscale_graph::features::Splits;
+
+fn main() {
+    println!("Fig. 8: predicted vs actual epoch time, MAG240M (homo), 1-4 FPGAs\n");
+    // Functional stand-in: 1/4000-scale MAG240M with a widened train
+    // split so full-size mini-batches can be drawn.
+    let mut dataset = MAG240M_HOMO.materialize(4000, 42);
+    dataset.splits = Splits::random(dataset.graph.num_vertices(), 0.6, 0.2, 7);
+    // Predict the *same* system the executor measures: the stand-in
+    // graph's statistics with the full-scale iteration count (the paper
+    // predicts and measures one system, not two).
+    let spec_scaled = hyscale_graph::DatasetSpec {
+        num_vertices: dataset.graph.num_vertices() as u64,
+        num_edges: dataset.graph.num_edges(),
+        ..MAG240M_HOMO
+    };
+
+    for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+        println!("{}:", model.name());
+        let mut t = Table::new(&["FPGAs", "predicted (s)", "actual (s)", "error"]);
+        let mut errs = Vec::new();
+        for n in 1..=4usize {
+            let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+            cfg.platform.num_accelerators = n;
+            cfg.train.batch_per_trainer = 512;
+            // enough iterations for the runtime DRM to settle from the
+            // coarse design-time mapping (the paper measures steady runs)
+            cfg.train.max_functional_iters = Some(12);
+            let pm = PerfModel::new(&cfg);
+            let predicted = pm.predict_epoch_time(&spec_scaled);
+            let mut trainer = HybridTrainer::new(cfg, dataset.clone());
+            let actual = trainer.train_epoch().epoch_time_s;
+            let err = (predicted - actual).abs() / actual;
+            errs.push(err);
+            t.row(vec![
+                n.to_string(),
+                format!("{predicted:.3}"),
+                format!("{actual:.3}"),
+                format!("{:.1}%", err * 100.0),
+            ]);
+        }
+        t.print();
+        let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+        println!("average error: {:.1}%  (paper: 5-14%)\n", avg * 100.0);
+    }
+    println!("error sources (paper §VI-C): accelerator kernel-launch latency and pipeline");
+    println!("flush are unmodelled; here additionally the analytic workload estimate vs");
+    println!("the measured sampled-batch workloads.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 9: scalability of the hybrid training system —
+//! normalized speedup for 1/2/4/8/16 accelerators on all three datasets
+//! and both models, predicted by the performance model (as in the
+//! paper, §VI-D). The limiting factor at high accelerator counts is CPU
+//! memory bandwidth (the Feature Loader saturating DRAM).
+
+use hyscale_bench::Table;
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::{PerfModel, SystemConfig};
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::ALL_DATASETS;
+
+fn main() {
+    println!("Fig. 9: scalability (normalized speedup vs 1 accelerator), CPU-FPGA platform\n");
+    let counts = [1usize, 2, 4, 8, 16];
+    let mut t = Table::new(&["Dataset", "Model", "x1", "x2", "x4", "x8", "x16"]);
+    for ds in ALL_DATASETS {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+            let pm = PerfModel::new(&cfg);
+            let speedups = pm.scalability(&ds, &counts);
+            let mut row = vec![ds.name.to_string(), model.name().to_string()];
+            row.extend(speedups.iter().map(|(_, s)| format!("{s:.2}")));
+            t.row(row);
+        }
+    }
+    t.print();
+    println!("\npaper: good scaling to ~12 FPGAs, CPU memory bandwidth saturates beyond;");
+    println!("       ogbn-products + GCN scales worst (PCIe transfer bound).");
+}

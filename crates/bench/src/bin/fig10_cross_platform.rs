@@ -1,0 +1,55 @@
+//! Regenerates paper Fig. 10: cross-platform comparison — epoch time of
+//! the multi-GPU PyG baseline vs. hybrid CPU+GPU vs. hybrid CPU+FPGA on
+//! all three datasets and both models (4 accelerators each).
+
+use hyscale_baselines::{BaselineSystem, PygMultiGpu, SotaConfig};
+use hyscale_bench::{geo_mean, simulate_epoch, Table, DRM_SETTLE_ITERS};
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::SystemConfig;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::ALL_DATASETS;
+
+fn main() {
+    println!("Fig. 10: cross-platform comparison, epoch time (s), 4 accelerators\n");
+    let baseline = PygMultiGpu::paper_baseline();
+    let sota = SotaConfig::pagraph(); // fanout (25,10), hidden 256 = paper default
+    let mut t = Table::new(&[
+        "Dataset",
+        "Model",
+        "Multi-GPU (s)",
+        "CPU+GPU (s)",
+        "CPU+FPGA (s)",
+        "GPU speedup",
+        "FPGA speedup",
+    ]);
+    let mut gpu_speedups = Vec::new();
+    let mut fpga_speedups = Vec::new();
+    for ds in ALL_DATASETS {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let t_base = baseline.epoch_time(&ds, model, &sota);
+            let gpu_cfg = SystemConfig::paper_default(AcceleratorKind::a5000(), model);
+            let fpga_cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+            let t_gpu = simulate_epoch(&gpu_cfg, &ds, DRM_SETTLE_ITERS).epoch_time_s;
+            let t_fpga = simulate_epoch(&fpga_cfg, &ds, DRM_SETTLE_ITERS).epoch_time_s;
+            gpu_speedups.push(t_base / t_gpu);
+            fpga_speedups.push(t_base / t_fpga);
+            t.row(vec![
+                ds.name.to_string(),
+                model.name().to_string(),
+                format!("{t_base:.2}"),
+                format!("{t_gpu:.2}"),
+                format!("{t_fpga:.2}"),
+                format!("{:.2}x", t_base / t_gpu),
+                format!("{:.2}x", t_base / t_fpga),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\ngeo-mean speedup vs multi-GPU:  CPU+GPU {:.2}x   CPU+FPGA {:.2}x",
+        geo_mean(&gpu_speedups),
+        geo_mean(&fpga_speedups)
+    );
+    println!("paper: CPU+GPU up to 2.08x, CPU+FPGA up to 12.6x (products 8.87-9.98x,");
+    println!("       papers100M 10.5-12.6x, MAG240M 9.46-11.5x); FPGA/GPU gap 5-6x.");
+}

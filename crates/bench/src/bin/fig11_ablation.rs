@@ -1,0 +1,44 @@
+//! Regenerates paper Fig. 11: impact of the optimizations — normalized
+//! speedup of Baseline → Hybrid (static) → +DRM → +DRM+TFP on the
+//! CPU-FPGA platform, all datasets and models.
+
+use hyscale_bench::{simulate_epoch, Table, DRM_SETTLE_ITERS};
+use hyscale_core::config::{AcceleratorKind, OptFlags};
+use hyscale_core::SystemConfig;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::ALL_DATASETS;
+
+fn main() {
+    println!("Fig. 11: impact of optimizations (normalized speedup over Baseline), CPU-FPGA\n");
+    let variants: [(&str, OptFlags); 4] = [
+        ("Baseline", OptFlags::baseline()),
+        ("Hybrid (static)", OptFlags::hybrid_static()),
+        ("Hybrid+DRM", OptFlags::hybrid_drm()),
+        ("Hybrid+DRM+TFP", OptFlags::full()),
+    ];
+    let mut t = Table::new(&[
+        "Dataset",
+        "Model",
+        "Baseline",
+        "Hybrid (static)",
+        "Hybrid+DRM",
+        "Hybrid+DRM+TFP",
+    ]);
+    for ds in ALL_DATASETS {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let mut epochs = Vec::new();
+            for (_, opt) in &variants {
+                let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+                cfg.opt = *opt;
+                epochs.push(simulate_epoch(&cfg, &ds, DRM_SETTLE_ITERS).epoch_time_s);
+            }
+            let base = epochs[0];
+            let mut row = vec![ds.name.to_string(), model.name().to_string()];
+            row.extend(epochs.iter().map(|e| format!("{:.2}x", base / e)));
+            t.row(row);
+        }
+    }
+    t.print();
+    println!("\npaper: hybrid static up to 1.13x, +DRM up to 1.33x, +TFP up to 1.79x;");
+    println!("       TFP gives no speedup when propagation dominates (papers100M SAGE).");
+}

@@ -1,0 +1,29 @@
+//! Regenerates paper Table II: specifications of the platforms.
+
+use hyscale_bench::Table;
+use hyscale_device::spec::table_ii;
+
+fn main() {
+    println!("Table II: Specifications of the platforms\n");
+    let mut t = Table::new(&[
+        "Platform",
+        "Kind",
+        "Freq (GHz)",
+        "Peak (TFLOPS)",
+        "On-chip (MB)",
+        "Mem BW (GB/s)",
+    ]);
+    for d in table_ii() {
+        t.row(vec![
+            d.name.to_string(),
+            format!("{:?}", d.kind),
+            format!("{:.2}", d.freq_ghz),
+            format!("{:.1}", d.peak_tflops),
+            format!("{:.0}", d.onchip_mb),
+            format!("{:.0}", d.mem_bandwidth_gbs),
+        ]);
+    }
+    t.print();
+    println!("\npaper: EPYC 7763 2.45GHz/3.6TF/256MB/205GBs, A5000 2.0GHz/27.8TF/6MB/768GBs,");
+    println!("       U250 0.3GHz/0.6TF/54MB/77GBs");
+}

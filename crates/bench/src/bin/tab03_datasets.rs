@@ -1,0 +1,54 @@
+//! Regenerates paper Table III: dataset statistics and GNN-layer
+//! dimensions, plus the memory-placement analysis motivating the system
+//! (paper §I).
+
+use hyscale_bench::Table;
+use hyscale_device::memory::{check_device_placement, graph_footprint_bytes};
+use hyscale_device::spec::{ALVEO_U250, RTX_A5000};
+use hyscale_graph::dataset::ALL_DATASETS;
+
+fn main() {
+    println!("Table III: Statistics of the datasets and GNN-layer dimensions\n");
+    let mut t = Table::new(&["Dataset", "#Vertices", "#Edges", "f0", "f1", "f2", "avg deg"]);
+    for d in ALL_DATASETS {
+        t.row(vec![
+            d.name.to_string(),
+            d.num_vertices.to_string(),
+            d.num_edges.to_string(),
+            d.f0.to_string(),
+            d.f1.to_string(),
+            d.f2.to_string(),
+            format!("{:.1}", d.avg_degree()),
+        ]);
+    }
+    t.print();
+
+    println!("\nMemory placement (motivation, paper §I):\n");
+    let mut m = Table::new(&["Dataset", "graph+features (GB)", "fits A5000 24GB", "fits U250 64GB"]);
+    for d in ALL_DATASETS {
+        m.row(vec![
+            d.name.to_string(),
+            format!("{:.1}", graph_footprint_bytes(&d) as f64 / 1e9),
+            check_device_placement(&d, &RTX_A5000).fits.to_string(),
+            check_device_placement(&d, &ALVEO_U250).fits.to_string(),
+        ]);
+    }
+    m.print();
+
+    println!("\nSynthetic stand-ins (1/4000 scale, functional runs):\n");
+    let mut s = Table::new(&["Dataset", "|V|", "|E|", "avg deg", "p50/p90/p99 deg", "clustering"]);
+    for d in ALL_DATASETS {
+        let ds = d.materialize(4000, 42);
+        let sum = hyscale_graph::stats::summarize(&ds.graph);
+        let cc = hyscale_graph::stats::sampled_clustering(&ds.graph, 200, 1);
+        s.row(vec![
+            d.name.to_string(),
+            sum.num_vertices.to_string(),
+            sum.num_edges.to_string(),
+            format!("{:.1} (spec {:.1})", sum.avg_degree, d.avg_degree()),
+            format!("{}/{}/{}", sum.degree_percentiles.0, sum.degree_percentiles.1, sum.degree_percentiles.2),
+            format!("{cc:.3}"),
+        ]);
+    }
+    s.print();
+}

@@ -1,0 +1,25 @@
+//! Regenerates paper Table IV: FPGA hardware parameters and resource
+//! utilization, plus a small design-space exploration around it.
+
+use hyscale_bench::Table;
+use hyscale_device::fpga::resource::{ResourceUsage, U250_RESOURCES};
+
+fn main() {
+    println!("Table IV: Hardware parameters and resource utilization (U250)\n");
+    let mut t = Table::new(&["(n, m)", "LUTs", "DSPs", "URAM", "BRAM", "fits"]);
+    for (n, m) in [(4usize, 1024usize), (8, 2048), (16, 2048), (8, 4096)] {
+        let u = ResourceUsage::estimate(n, m, &U250_RESOURCES);
+        t.row(vec![
+            format!("({n}, {m})"),
+            format!("{:.0}%", u.lut * 100.0),
+            format!("{:.0}%", u.dsp * 100.0),
+            format!("{:.0}%", u.uram * 100.0),
+            format!("{:.0}%", u.bram * 100.0),
+            u.fits().to_string(),
+        ]);
+    }
+    t.print();
+    println!("\npaper row (8, 2048): LUT 72%  DSP 90%  URAM 48%  BRAM 40%");
+    let (n, m) = ResourceUsage::max_config(&U250_RESOURCES);
+    println!("largest feasible configuration found by the explorer: (n, m) = ({n}, {m})");
+}

@@ -1,0 +1,113 @@
+//! Regenerates paper Table VI: epoch-time comparison with
+//! state-of-the-art large-scale GNN training systems. Each comparison
+//! reuses the competitor's model configuration (Table V): PaGraph and P3
+//! with fanout (25,10); P3 with hidden dim 32; DistDGLv2 with a 3-layer
+//! model, fanout (15,10,5). "This Work" is the CPU + 4×U250 system.
+
+use hyscale_baselines::{BaselineSystem, DistDglV2, P3, PaGraph, SotaConfig};
+use hyscale_bench::{geo_mean, simulate_epoch, Table, DRM_SETTLE_ITERS};
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::SystemConfig;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::{DatasetSpec, OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+fn this_work(ds: &DatasetSpec, model: GnnKind, sota: &SotaConfig) -> f64 {
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+    cfg.train.fanouts = sota.fanouts.clone();
+    cfg.train.hidden_dim = sota.hidden_dim;
+    cfg.train.batch_per_trainer = sota.batch_per_trainer;
+    simulate_epoch(&cfg, ds, DRM_SETTLE_ITERS).epoch_time_s
+}
+
+fn main() {
+    println!("Table VI: epoch time (s) comparison with state-of-the-art\n");
+    let datasets = [OGBN_PRODUCTS, OGBN_PAPERS100M];
+
+    let mut t = Table::new(&[
+        "System",
+        "products GCN",
+        "products SAGE",
+        "papers GCN",
+        "papers SAGE",
+        "geo-mean speedup",
+    ]);
+
+    // --- PaGraph block ---
+    let pagraph = PaGraph::paper_setup();
+    let cfg = SotaConfig::pagraph();
+    let theirs: Vec<f64> = datasets
+        .iter()
+        .flat_map(|ds| {
+            [GnnKind::Gcn, GnnKind::GraphSage]
+                .map(|m| pagraph.epoch_time(ds, m, &cfg))
+        })
+        .collect();
+    let ours: Vec<f64> = datasets
+        .iter()
+        .flat_map(|ds| [GnnKind::Gcn, GnnKind::GraphSage].map(|m| this_work(ds, m, &cfg)))
+        .collect();
+    push_pair(&mut t, "PaGraph", &theirs, &ours);
+
+    // --- P3 block ---
+    let p3 = P3::paper_setup();
+    let cfg = SotaConfig::p3();
+    let theirs: Vec<f64> = datasets
+        .iter()
+        .flat_map(|ds| [GnnKind::Gcn, GnnKind::GraphSage].map(|m| p3.epoch_time(ds, m, &cfg)))
+        .collect();
+    let ours: Vec<f64> = datasets
+        .iter()
+        .flat_map(|ds| [GnnKind::Gcn, GnnKind::GraphSage].map(|m| this_work(ds, m, &cfg)))
+        .collect();
+    push_pair(&mut t, "P3", &theirs, &ours);
+
+    // --- DistDGLv2 block (SAGE only, as in the paper) ---
+    let dd = DistDglV2::paper_setup();
+    let cfg = SotaConfig::distdgl();
+    let theirs: Vec<f64> = datasets
+        .iter()
+        .map(|ds| dd.epoch_time(ds, GnnKind::GraphSage, &cfg))
+        .collect();
+    let ours: Vec<f64> =
+        datasets.iter().map(|ds| this_work(ds, GnnKind::GraphSage, &cfg)).collect();
+    let speedups: Vec<f64> = theirs.iter().zip(&ours).map(|(t, o)| t / o).collect();
+    t.row(vec![
+        "DistDGLv2".into(),
+        "-".into(),
+        format!("{:.2}", theirs[0]),
+        "-".into(),
+        format!("{:.2}", theirs[1]),
+        "1x".into(),
+    ]);
+    t.row(vec![
+        "This Work".into(),
+        "-".into(),
+        format!("{:.2}", ours[0]),
+        "-".into(),
+        format!("{:.2}", ours[1]),
+        format!("{:.2}x", geo_mean(&speedups)),
+    ]);
+
+    t.print();
+    println!("\npaper: vs PaGraph 1.76x, vs P3 4.57x, vs DistDGLv2 0.45x (geo-mean)");
+}
+
+fn push_pair(t: &mut Table, name: &str, theirs: &[f64], ours: &[f64]) {
+    let speedups: Vec<f64> = theirs.iter().zip(ours).map(|(a, b)| a / b).collect();
+    t.row(vec![
+        name.into(),
+        format!("{:.2}", theirs[0]),
+        format!("{:.2}", theirs[1]),
+        format!("{:.2}", theirs[2]),
+        format!("{:.2}", theirs[3]),
+        "1x".into(),
+    ]);
+    t.row(vec![
+        "This Work".into(),
+        format!("{:.2}", ours[0]),
+        format!("{:.2}", ours[1]),
+        format!("{:.2}", ours[2]),
+        format!("{:.2}", ours[3]),
+        format!("{:.2}x", geo_mean(&speedups)),
+    ]);
+}

@@ -1,0 +1,99 @@
+//! Regenerates paper Table VII: *normalized* epoch time
+//! (seconds × platform peak TFLOPS) — the efficiency comparison that
+//! removes the hardware-scale advantage of the multi-node systems.
+
+use hyscale_baselines::{BaselineSystem, DistDglV2, P3, PaGraph, SotaConfig};
+use hyscale_bench::{geo_mean, simulate_epoch, Table, DRM_SETTLE_ITERS};
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::SystemConfig;
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::{DatasetSpec, OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+/// This Work's platform peak: 2× EPYC 7763 + 4× U250.
+const THIS_WORK_TFLOPS: f64 = 2.0 * 3.6 + 4.0 * 0.6;
+
+const DATASETS: [DatasetSpec; 2] = [OGBN_PRODUCTS, OGBN_PAPERS100M];
+const MODELS: [GnnKind; 2] = [GnnKind::Gcn, GnnKind::GraphSage];
+
+fn this_work_norm(ds: &DatasetSpec, model: GnnKind, sota: &SotaConfig) -> f64 {
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+    cfg.train.fanouts = sota.fanouts.clone();
+    cfg.train.hidden_dim = sota.hidden_dim;
+    cfg.train.batch_per_trainer = sota.batch_per_trainer;
+    simulate_epoch(&cfg, ds, DRM_SETTLE_ITERS).epoch_time_s * THIS_WORK_TFLOPS
+}
+
+fn push_block(t: &mut Table, name: &str, sota: &SotaConfig, system: &dyn BaselineSystem) {
+    let theirs: Vec<f64> = DATASETS
+        .iter()
+        .flat_map(|ds| MODELS.map(|m| system.normalized_epoch(ds, m, sota)))
+        .collect();
+    let ours: Vec<f64> = DATASETS
+        .iter()
+        .flat_map(|ds| MODELS.map(|m| this_work_norm(ds, m, sota)))
+        .collect();
+    let speedups: Vec<f64> = theirs.iter().zip(&ours).map(|(a, b)| a / b).collect();
+    t.row(vec![
+        name.into(),
+        format!("{:.1}", theirs[0]),
+        format!("{:.1}", theirs[1]),
+        format!("{:.1}", theirs[2]),
+        format!("{:.1}", theirs[3]),
+        "1x".into(),
+    ]);
+    t.row(vec![
+        "This Work".into(),
+        format!("{:.1}", ours[0]),
+        format!("{:.1}", ours[1]),
+        format!("{:.1}", ours[2]),
+        format!("{:.1}", ours[3]),
+        format!("{:.0}x", geo_mean(&speedups)),
+    ]);
+}
+
+fn main() {
+    println!("Table VII: normalized epoch time (s x TFLOPS) vs state-of-the-art\n");
+    let mut t = Table::new(&[
+        "System",
+        "products GCN",
+        "products SAGE",
+        "papers GCN",
+        "papers SAGE",
+        "geo-mean speedup",
+    ]);
+
+    push_block(&mut t, "PaGraph", &SotaConfig::pagraph(), &PaGraph::paper_setup());
+    push_block(&mut t, "P3", &SotaConfig::p3(), &P3::paper_setup());
+
+    // DistDGLv2 (SAGE only, as in the paper)
+    let dd = DistDglV2::paper_setup();
+    let sota = SotaConfig::distdgl();
+    let theirs: Vec<f64> = DATASETS
+        .iter()
+        .map(|ds| dd.normalized_epoch(ds, GnnKind::GraphSage, &sota))
+        .collect();
+    let ours: Vec<f64> = DATASETS
+        .iter()
+        .map(|ds| this_work_norm(ds, GnnKind::GraphSage, &sota))
+        .collect();
+    let speedups: Vec<f64> = theirs.iter().zip(&ours).map(|(a, b)| a / b).collect();
+    t.row(vec![
+        "DistDGLv2".into(),
+        "-".into(),
+        format!("{:.1}", theirs[0]),
+        "-".into(),
+        format!("{:.1}", theirs[1]),
+        "1x".into(),
+    ]);
+    t.row(vec![
+        "This Work".into(),
+        "-".into(),
+        format!("{:.1}", ours[0]),
+        "-".into(),
+        format!("{:.1}", ours[1]),
+        format!("{:.0}x", geo_mean(&speedups)),
+    ]);
+
+    t.print();
+    println!("\npaper: 21x vs PaGraph, 71x vs P3, 25x vs DistDGLv2 (geo-mean, normalized)");
+}

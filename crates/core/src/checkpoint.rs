@@ -1,0 +1,182 @@
+//! Trainer checkpointing: persist and restore model parameters plus the
+//! DRM's task mapping, so long training runs survive restarts with the
+//! settled mapping intact.
+
+use crate::drm::{ThreadAlloc, WorkloadSplit};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const CKPT_MAGIC: u64 = 0x4853_434b_0001; // "HSCK" v1
+
+/// A serializable training checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Flattened model parameters ([`hyscale_gnn::GnnModel::flatten_params`]).
+    pub params: Vec<f32>,
+    /// The settled workload split.
+    pub cpu_quota: u64,
+    /// Total seeds per iteration.
+    pub total: u64,
+    /// Accelerator count.
+    pub num_accelerators: u64,
+    /// Sampling share on accelerators.
+    pub sampling_on_accel: f64,
+    /// Thread allocation (sampler, loader, trainer).
+    pub threads: (u64, u64, u64),
+}
+
+impl Checkpoint {
+    /// Capture a checkpoint from training state.
+    pub fn capture(
+        epoch: u64,
+        params: Vec<f32>,
+        split: &WorkloadSplit,
+        threads: &ThreadAlloc,
+    ) -> Self {
+        Self {
+            epoch,
+            params,
+            cpu_quota: split.cpu_quota as u64,
+            total: split.total as u64,
+            num_accelerators: split.num_accelerators as u64,
+            sampling_on_accel: split.sampling_on_accel,
+            threads: (threads.sampler as u64, threads.loader as u64, threads.trainer as u64),
+        }
+    }
+
+    /// Reconstruct the workload split.
+    pub fn split(&self) -> WorkloadSplit {
+        let mut s = WorkloadSplit::new(
+            self.cpu_quota as usize,
+            self.total as usize,
+            self.num_accelerators as usize,
+        );
+        s.sampling_on_accel = self.sampling_on_accel;
+        s
+    }
+
+    /// Reconstruct the thread allocation.
+    pub fn thread_alloc(&self) -> ThreadAlloc {
+        ThreadAlloc {
+            sampler: self.threads.0 as usize,
+            loader: self.threads.1 as usize,
+            trainer: self.threads.2 as usize,
+        }
+    }
+
+    /// Serialize to a writer (little-endian binary).
+    pub fn write<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = BufWriter::new(w);
+        for v in [
+            CKPT_MAGIC,
+            self.epoch,
+            self.cpu_quota,
+            self.total,
+            self.num_accelerators,
+            self.threads.0,
+            self.threads.1,
+            self.threads.2,
+            self.params.len() as u64,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.sampling_on_accel.to_le_bytes())?;
+        for &p in &self.params {
+            w.write_all(&p.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Deserialize from a reader.
+    pub fn read<R: Read>(r: R) -> io::Result<Self> {
+        let mut r = BufReader::new(r);
+        let mut u64s = [0u64; 9];
+        let mut buf = [0u8; 8];
+        for v in &mut u64s {
+            r.read_exact(&mut buf)?;
+            *v = u64::from_le_bytes(buf);
+        }
+        if u64s[0] != CKPT_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale checkpoint"));
+        }
+        r.read_exact(&mut buf)?;
+        let sampling_on_accel = f64::from_le_bytes(buf);
+        let n = u64s[8] as usize;
+        let mut params = Vec::with_capacity(n);
+        let mut f4 = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut f4)?;
+            params.push(f32::from_le_bytes(f4));
+        }
+        Ok(Self {
+            epoch: u64s[1],
+            params,
+            cpu_quota: u64s[2],
+            total: u64s[3],
+            num_accelerators: u64s[4],
+            sampling_on_accel,
+            threads: (u64s[5], u64s[6], u64s[7]),
+        })
+    }
+
+    /// Save to a path.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.write(std::fs::File::create(path)?)
+    }
+
+    /// Load from a path.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::read(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint() -> Checkpoint {
+        let mut split = WorkloadSplit::new(300, 2048, 4);
+        split.sampling_on_accel = 0.75;
+        let threads = ThreadAlloc { sampler: 20, loader: 30, trainer: 78 };
+        Checkpoint::capture(7, vec![1.0, -2.5, 0.125], &split, &threads)
+    }
+
+    #[test]
+    fn roundtrip_through_buffer() {
+        let c = checkpoint();
+        let mut buf = Vec::new();
+        c.write(&mut buf).unwrap();
+        let c2 = Checkpoint::read(&buf[..]).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn reconstructs_mapping() {
+        let c = checkpoint();
+        let s = c.split();
+        assert_eq!(s.cpu_quota, 300);
+        assert_eq!(s.total, 2048);
+        assert_eq!(s.sampling_on_accel, 0.75);
+        let t = c.thread_alloc();
+        assert_eq!(t.total(), 128);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let buf = vec![7u8; 100];
+        assert!(Checkpoint::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hyscale_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        let c = checkpoint();
+        c.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), c);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,493 @@
+//! Dynamic Resource Management (paper §IV-A, Algorithm 1).
+//!
+//! A bottleneck-guided optimizer that runs once per training iteration.
+//! It identifies the slowest of five tasks — CPU sampling, accelerator
+//! sampling, feature loading, CPU training, and the bundled
+//! transfer+accelerator-training task — and applies one of two moves:
+//!
+//! * **`balance_work`** — shift mini-batch seeds (or sampling share)
+//!   between the CPUs and the accelerators. The total per-iteration
+//!   seed count never changes, so synchronous-SGD semantics are
+//!   preserved.
+//! * **`balance_thread`** — move one CPU worker thread from the fastest
+//!   CPU-resident task to the bottleneck CPU task.
+
+use crate::stages::{Stage, StageTimes};
+
+/// Per-iteration seed quotas: one CPU trainer plus `num_accelerators`
+/// identical accelerator trainers. The invariant `cpu_quota +
+/// Σ accel = total` holds across every DRM move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSplit {
+    /// Seeds assigned to the CPU trainer each iteration.
+    pub cpu_quota: usize,
+    /// Total seeds per iteration (constant).
+    pub total: usize,
+    /// Number of accelerator trainers.
+    pub num_accelerators: usize,
+    /// Fraction of the sampling workload executed on accelerators.
+    pub sampling_on_accel: f64,
+}
+
+impl WorkloadSplit {
+    /// Split with `cpu_quota` seeds on the CPU and the rest spread over
+    /// the accelerators.
+    ///
+    /// # Panics
+    /// If `cpu_quota > total` or there are no accelerators.
+    pub fn new(cpu_quota: usize, total: usize, num_accelerators: usize) -> Self {
+        assert!(num_accelerators > 0, "need at least one accelerator");
+        assert!(cpu_quota <= total, "cpu quota exceeds total batch");
+        Self { cpu_quota, total, num_accelerators, sampling_on_accel: 0.0 }
+    }
+
+    /// Seeds assigned to accelerator `i` (even split, remainder to the
+    /// lowest-indexed devices).
+    pub fn accel_quota(&self, i: usize) -> usize {
+        let pool = self.total - self.cpu_quota;
+        let base = pool / self.num_accelerators;
+        let rem = pool % self.num_accelerators;
+        base + usize::from(i < rem)
+    }
+
+    /// All quotas in trainer order: `[cpu, accel_0, .., accel_{A-1}]`.
+    pub fn quotas(&self) -> Vec<usize> {
+        let mut q = Vec::with_capacity(1 + self.num_accelerators);
+        q.push(self.cpu_quota);
+        for i in 0..self.num_accelerators {
+            q.push(self.accel_quota(i));
+        }
+        q
+    }
+
+    /// Move up to `n` seeds from the accelerator pool to the CPU trainer;
+    /// returns the number actually moved.
+    pub fn shift_to_cpu(&mut self, n: usize) -> usize {
+        let pool = self.total - self.cpu_quota;
+        // keep at least one seed per accelerator so every device trains
+        let movable = pool.saturating_sub(self.num_accelerators);
+        let moved = n.min(movable);
+        self.cpu_quota += moved;
+        moved
+    }
+
+    /// Move up to `n` seeds from the CPU trainer to the accelerator pool;
+    /// returns the number actually moved.
+    pub fn shift_to_accel(&mut self, n: usize) -> usize {
+        let moved = n.min(self.cpu_quota);
+        self.cpu_quota -= moved;
+        moved
+    }
+}
+
+/// CPU worker-thread allocation across the CPU-resident tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadAlloc {
+    /// Threads running the Mini-batch Sampler.
+    pub sampler: usize,
+    /// Threads running the Feature Loader.
+    pub loader: usize,
+    /// Threads running the CPU GNN Trainer.
+    pub trainer: usize,
+}
+
+impl ThreadAlloc {
+    /// Default design-time allocation over `total` worker threads:
+    /// 25 % sampler, 25 % loader, 50 % trainer (at least one each).
+    pub fn default_for(total: usize) -> Self {
+        let total = total.max(3);
+        let sampler = (total / 4).max(1);
+        let loader = (total / 4).max(1);
+        let trainer = total - sampler - loader;
+        Self { sampler, loader, trainer }
+    }
+
+    /// Total allocated threads.
+    pub fn total(&self) -> usize {
+        self.sampler + self.loader + self.trainer
+    }
+
+    fn get(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::SampleCpu => self.sampler,
+            Stage::Load => self.loader,
+            Stage::TrainCpu => self.trainer,
+            _ => 0,
+        }
+    }
+
+    fn add(&mut self, stage: Stage, delta: isize) {
+        let slot = match stage {
+            Stage::SampleCpu => &mut self.sampler,
+            Stage::Load => &mut self.loader,
+            Stage::TrainCpu => &mut self.trainer,
+            _ => return,
+        };
+        *slot = (*slot as isize + delta).max(1) as usize;
+    }
+}
+
+/// The action the DRM engine took this iteration (for traces and tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DrmAction {
+    /// Moved trainer seeds between CPU and accelerators.
+    BalanceWork {
+        /// Positive: seeds moved to the CPU; negative: to accelerators.
+        to_cpu: isize,
+    },
+    /// Moved sampling share between CPU and accelerators.
+    BalanceSampling {
+        /// Positive: share moved to accelerators.
+        to_accel: f64,
+    },
+    /// Moved one thread between CPU tasks.
+    BalanceThread {
+        /// Donor task.
+        from: Stage,
+        /// Recipient task.
+        to: Stage,
+    },
+    /// No profitable move found.
+    None,
+}
+
+/// The bottleneck-guided optimizer of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct DrmEngine {
+    /// Fraction of the total batch moved per `balance_work` call.
+    pub work_step: f64,
+    /// Sampling-share step per `balance_sampling` call.
+    pub sampling_step: f64,
+    /// Hybrid training enabled (a CPU trainer exists to receive work).
+    pub hybrid: bool,
+}
+
+impl DrmEngine {
+    /// Engine with the default 5 % work step.
+    pub fn new(hybrid: bool) -> Self {
+        Self { work_step: 0.05, sampling_step: 0.1, hybrid }
+    }
+
+    /// One Algorithm 1 decision: inspect `times`, mutate `split` /
+    /// `threads` for the next iteration, and report the action taken.
+    pub fn adjust(
+        &self,
+        times: &StageTimes,
+        split: &mut WorkloadSplit,
+        threads: &mut ThreadAlloc,
+    ) -> DrmAction {
+        let tasks = times.drm_tasks();
+        let bottleneck = tasks
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .expect("five tasks");
+        let fastest = tasks
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .expect("five tasks");
+        // second-fastest (Sorted_list[3] in the paper's descending sort)
+        let mut sorted = tasks;
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let second = sorted[1];
+
+        // Damped, gap-proportional step: moves shrink as the system
+        // approaches balance, preventing oscillation (implementation
+        // refinement over the paper's fixed-step description).
+        let gap_factor = |other: f64| {
+            if bottleneck.1 <= 0.0 {
+                0.0
+            } else {
+                ((bottleneck.1 - other) / bottleneck.1).clamp(0.0, 1.0)
+            }
+        };
+        let total = split.total;
+        let step = move |other: f64| {
+            ((total as f64 * self.work_step * gap_factor(other)).round() as usize).max(1)
+        };
+
+        match bottleneck.0 {
+            // line 11: accelerator sampler is the bottleneck -> move
+            // sampling work to the CPU
+            Stage::SampleAccel => {
+                let f = gap_factor(times.sample_cpu);
+                if f < 0.05 {
+                    return DrmAction::None;
+                }
+                let delta = (self.sampling_step * f).min(split.sampling_on_accel);
+                split.sampling_on_accel -= delta;
+                DrmAction::BalanceSampling { to_accel: -delta }
+            }
+            // line 13: transfer+accelerator training is the bottleneck ->
+            // move trainer seeds to the CPU
+            Stage::Accel => {
+                if !self.hybrid || gap_factor(times.train_cpu) < 0.05 {
+                    return DrmAction::None;
+                }
+                let moved = split.shift_to_cpu(step(times.train_cpu));
+                if moved == 0 {
+                    DrmAction::None
+                } else {
+                    DrmAction::BalanceWork { to_cpu: moved as isize }
+                }
+            }
+            // line 15: loader bottleneck -> re-assign threads from the
+            // fastest CPU task
+            Stage::Load => self.steal_thread(times, threads, Stage::Load),
+            // line 17: CPU sampler bottleneck
+            Stage::SampleCpu => {
+                // the accelerator sampler is an attractive target either
+                // when Algorithm 1's conditions name it, or when it has
+                // substantial headroom (gross imbalance: thread-stealing
+                // alone would take too many iterations to catch up)
+                let accel_sampler_fast = fastest.0 == Stage::SampleAccel
+                    || (fastest.0 == Stage::Accel && second.0 == Stage::SampleAccel)
+                    || gap_factor(times.sample_accel) >= 0.3;
+                if accel_sampler_fast && split.sampling_on_accel < 1.0 {
+                    let f = gap_factor(times.sample_accel);
+                    let delta = (self.sampling_step * f).min(1.0 - split.sampling_on_accel);
+                    split.sampling_on_accel += delta;
+                    DrmAction::BalanceSampling { to_accel: delta }
+                } else {
+                    match self.steal_thread(times, threads, Stage::SampleCpu) {
+                        // no donor threads left: fall back to offloading
+                        // sampling if the accelerators can sample at all
+                        DrmAction::None if split.sampling_on_accel < 1.0 => {
+                            let delta = self.sampling_step.min(1.0 - split.sampling_on_accel);
+                            split.sampling_on_accel += delta;
+                            DrmAction::BalanceSampling { to_accel: delta }
+                        }
+                        other => other,
+                    }
+                }
+            }
+            // line 25: CPU trainer bottleneck
+            Stage::TrainCpu => {
+                let accel_trainer_fast = fastest.0 == Stage::Accel
+                    || (fastest.0 == Stage::SampleAccel && second.0 == Stage::Accel)
+                    || gap_factor(times.accel()) >= 0.3;
+                let shift = |split: &mut WorkloadSplit| {
+                    let moved = split.shift_to_accel(step(times.accel()));
+                    if moved == 0 {
+                        DrmAction::None
+                    } else {
+                        DrmAction::BalanceWork { to_cpu: -(moved as isize) }
+                    }
+                };
+                if accel_trainer_fast {
+                    shift(split)
+                } else {
+                    match self.steal_thread(times, threads, Stage::TrainCpu) {
+                        // donors exhausted: move work to the accelerators
+                        // even though they are not the fastest task
+                        DrmAction::None if gap_factor(times.accel()) >= 0.05 => shift(split),
+                        other => other,
+                    }
+                }
+            }
+        }
+    }
+
+    /// `balance_thread`: donate one thread from the fastest CPU task
+    /// (that is not the bottleneck and still has threads to spare).
+    fn steal_thread(
+        &self,
+        times: &StageTimes,
+        threads: &mut ThreadAlloc,
+        to: Stage,
+    ) -> DrmAction {
+        let cpu_tasks = [
+            (Stage::SampleCpu, times.sample_cpu),
+            (Stage::Load, times.load),
+            (Stage::TrainCpu, times.train_cpu),
+        ];
+        let donor = cpu_tasks
+            .iter()
+            .filter(|(s, _)| *s != to && threads.get(*s) > 1)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        match donor {
+            Some(&(from, _)) => {
+                threads.add(from, -1);
+                threads.add(to, 1);
+                DrmAction::BalanceThread { from, to }
+            }
+            None => DrmAction::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split() -> WorkloadSplit {
+        WorkloadSplit::new(1024, 5120, 4)
+    }
+
+    fn times(sc: f64, sa: f64, load: f64, tc: f64, trans: f64, ta: f64) -> StageTimes {
+        StageTimes {
+            sample_cpu: sc,
+            sample_accel: sa,
+            load,
+            transfer: trans,
+            train_cpu: tc,
+            train_accel: ta,
+            sync: 0.0,
+        }
+    }
+
+    #[test]
+    fn quota_invariant_under_all_moves() {
+        let mut s = split();
+        let total: usize = s.quotas().iter().sum();
+        assert_eq!(total, 5120);
+        s.shift_to_cpu(300);
+        assert_eq!(s.quotas().iter().sum::<usize>(), 5120);
+        s.shift_to_accel(1000);
+        assert_eq!(s.quotas().iter().sum::<usize>(), 5120);
+    }
+
+    #[test]
+    fn accel_quota_even_split_with_remainder() {
+        let s = WorkloadSplit::new(1, 10, 3);
+        // pool of 9 across 3 accels
+        assert_eq!(s.accel_quota(0), 3);
+        assert_eq!(s.accel_quota(1), 3);
+        assert_eq!(s.accel_quota(2), 3);
+        let s2 = WorkloadSplit::new(0, 11, 3);
+        assert_eq!(s2.quotas(), vec![0, 4, 4, 3]);
+    }
+
+    #[test]
+    fn accel_bottleneck_moves_work_to_cpu() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        let mut th = ThreadAlloc::default_for(64);
+        let t = times(0.1, 0.1, 0.2, 0.3, 0.5, 2.0);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert!(matches!(action, DrmAction::BalanceWork { to_cpu } if to_cpu > 0));
+        assert!(s.cpu_quota > 1024);
+    }
+
+    #[test]
+    fn cpu_trainer_bottleneck_moves_work_to_accel() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        let mut th = ThreadAlloc::default_for(64);
+        // fastest = Accel bundle
+        let t = times(0.5, 0.4, 0.6, 3.0, 0.05, 0.1);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert!(matches!(action, DrmAction::BalanceWork { to_cpu } if to_cpu < 0));
+        assert!(s.cpu_quota < 1024);
+    }
+
+    #[test]
+    fn loader_bottleneck_steals_thread_from_fastest_cpu_task() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        let mut th = ThreadAlloc { sampler: 10, loader: 10, trainer: 44 };
+        // CPU sampler is fastest CPU task
+        let t = times(0.05, 0.2, 3.0, 1.0, 0.5, 0.5);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert_eq!(
+            action,
+            DrmAction::BalanceThread { from: Stage::SampleCpu, to: Stage::Load }
+        );
+        assert_eq!(th.sampler, 9);
+        assert_eq!(th.loader, 11);
+        assert_eq!(th.total(), 64);
+    }
+
+    #[test]
+    fn accel_sampler_bottleneck_shifts_sampling_to_cpu() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        s.sampling_on_accel = 0.5;
+        let mut th = ThreadAlloc::default_for(64);
+        let t = times(0.1, 4.0, 0.2, 0.3, 0.2, 0.2);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert!(matches!(action, DrmAction::BalanceSampling { to_accel } if to_accel < 0.0));
+        assert!(s.sampling_on_accel < 0.5);
+    }
+
+    #[test]
+    fn cpu_sampler_bottleneck_with_fast_accel_sampler_offloads_sampling() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        let mut th = ThreadAlloc::default_for(64);
+        // fastest = SampleAccel
+        let t = times(3.0, 0.01, 0.5, 0.6, 0.4, 0.4);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert!(matches!(action, DrmAction::BalanceSampling { to_accel } if to_accel > 0.0));
+        assert!(s.sampling_on_accel > 0.0);
+    }
+
+    #[test]
+    fn cpu_sampler_bottleneck_without_fast_accel_steals_threads() {
+        let engine = DrmEngine::new(true);
+        let mut s = split();
+        let mut th = ThreadAlloc { sampler: 4, loader: 20, trainer: 40 };
+        // fastest = Load (a CPU task): expect thread steal toward sampler
+        let t = times(3.0, 2.9, 0.01, 0.5, 2.5, 2.5);
+        let action = engine.adjust(&t, &mut s, &mut th);
+        assert_eq!(
+            action,
+            DrmAction::BalanceThread { from: Stage::Load, to: Stage::SampleCpu }
+        );
+        assert_eq!(th.sampler, 5);
+    }
+
+    #[test]
+    fn non_hybrid_accel_bottleneck_is_noop() {
+        let engine = DrmEngine::new(false);
+        let mut s = split();
+        let mut th = ThreadAlloc::default_for(64);
+        let t = times(0.1, 0.1, 0.2, 0.0, 0.5, 2.0);
+        assert_eq!(engine.adjust(&t, &mut s, &mut th), DrmAction::None);
+        assert_eq!(s.cpu_quota, 1024);
+    }
+
+    #[test]
+    fn drm_converges_on_synthetic_cost_model() {
+        // Synthetic platform: accel processes seeds at 1.0 s per 1000,
+        // CPU at 4.0 s per 1000 over 4 accels; optimum cpu share ~= 1/17
+        // of the work per accel-equivalent. DRM should iterate toward a
+        // split where |T_TC - T_Accel| is small.
+        let engine = DrmEngine::new(true);
+        let mut s = WorkloadSplit::new(2560, 5120, 4); // start badly: half on CPU
+        let mut th = ThreadAlloc::default_for(64);
+        let mut last_gap = f64::INFINITY;
+        for _ in 0..60 {
+            let accel_per = (s.total - s.cpu_quota) as f64 / 4.0;
+            let t = times(
+                0.01,
+                0.01,
+                0.05,
+                s.cpu_quota as f64 * 4.0 / 1000.0,
+                0.02,
+                accel_per * 1.0 / 1000.0,
+            );
+            engine.adjust(&t, &mut s, &mut th);
+            last_gap = (s.cpu_quota as f64 * 4.0 / 1000.0
+                - ((s.total - s.cpu_quota) as f64 / 4.0) / 1000.0)
+                .abs();
+        }
+        // balanced: T_TC == T_Accel at cpu_quota = total/17 ≈ 301
+        assert!(
+            s.cpu_quota < 700,
+            "DRM failed to move work off the CPU: quota {}",
+            s.cpu_quota
+        );
+        assert!(last_gap < 1.5, "residual imbalance {last_gap}");
+    }
+
+    #[test]
+    fn thread_alloc_defaults() {
+        let t = ThreadAlloc::default_for(128);
+        assert_eq!(t.total(), 128);
+        assert!(t.trainer >= t.sampler);
+        let tiny = ThreadAlloc::default_for(1);
+        assert!(tiny.sampler >= 1 && tiny.loader >= 1 && tiny.trainer >= 1);
+    }
+}

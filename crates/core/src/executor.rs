@@ -1,0 +1,506 @@
+//! The hybrid trainer: functional training + simulated device timing.
+//!
+//! Implements the task mapping of paper Fig. 4: per iteration, `n`
+//! mini-batches are sampled (CPU and/or accelerators), the Feature
+//! Loader gathers `X'` from CPU memory, accelerator batches are
+//! "transferred" over the PCIe model, and every trainer (one CPU trainer
+//! when hybrid, plus one per accelerator) runs forward/backward
+//! concurrently under the Processor–Accelerator Training Protocol. The
+//! Synchronizer averages gradients (size-weighted) and every replica
+//! applies the same update — so the functional math is *identical* to
+//! sequential large-batch SGD regardless of the DRM's re-balancing.
+//!
+//! Timing is simulated: each stage's latency comes from the device models
+//! driven by the measured workload of that iteration's batches; with TFP
+//! the steady-state iteration latency is the slowest stage (Eq. 6),
+//! without it the communication stages serialize.
+
+use crate::config::SystemConfig;
+use crate::drm::{DrmAction, DrmEngine, ThreadAlloc, WorkloadSplit};
+use crate::perf_model::{compute_stage_times, PerfModel, StageInputs};
+use crate::protocol::TrainingRound;
+use crate::report::{EpochReport, IterationReport};
+use crate::sync::Synchronizer;
+use hyscale_device::calib;
+use hyscale_gnn::{GnnModel, Gradients};
+use hyscale_graph::features::gather_features;
+use hyscale_graph::Dataset;
+use hyscale_sampler::{EpochBatcher, MiniBatch, NeighborSampler, WorkloadStats};
+use hyscale_tensor::{Matrix, Optimizer};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The HyScale-GNN training system instance.
+pub struct HybridTrainer {
+    cfg: SystemConfig,
+    dataset: Dataset,
+    dims: Vec<usize>,
+    model: GnnModel,
+    optimizer: Box<dyn Optimizer + Send>,
+    sampler: NeighborSampler,
+    batcher: EpochBatcher,
+    split: WorkloadSplit,
+    threads: ThreadAlloc,
+    drm: DrmEngine,
+    sync: Synchronizer,
+    next_epoch: u64,
+}
+
+impl HybridTrainer {
+    /// Build a trainer: design-time initial task mapping from the
+    /// performance model (paper §IV-A "initialize the GNN training task
+    /// mapping during compile time"), replicated model, seeded samplers.
+    pub fn new(cfg: SystemConfig, dataset: Dataset) -> Self {
+        let dims = cfg.train.layer_dims(dataset.spec.f0, dataset.data.num_classes);
+        let model = GnnModel::new(cfg.train.model, &dims, cfg.train.seed);
+        let optimizer = cfg.train.optimizer.build(cfg.train.learning_rate);
+        let sampler = NeighborSampler::new(cfg.train.fanouts.clone(), cfg.train.seed ^ 0x5a5a);
+        let batcher = EpochBatcher::new(dataset.splits.train.clone(), cfg.train.seed ^ 0xb00b);
+        let pm = PerfModel::new(&cfg);
+        let (split, threads) = pm.initial_mapping(&dataset.spec);
+        let drm = DrmEngine::new(cfg.opt.hybrid);
+        Self {
+            cfg,
+            dataset,
+            dims,
+            model,
+            optimizer,
+            sampler,
+            batcher,
+            split,
+            threads,
+            drm,
+            sync: Synchronizer::new(),
+            next_epoch: 0,
+        }
+    }
+
+    /// Current workload split (inspectable for DRM traces).
+    pub fn split(&self) -> &WorkloadSplit {
+        &self.split
+    }
+
+    /// Current CPU thread allocation.
+    pub fn thread_alloc(&self) -> &ThreadAlloc {
+        &self.threads
+    }
+
+    /// Override the task mapping (e.g. to pin a split for equivalence
+    /// testing, or to restore a checkpointed mapping).
+    ///
+    /// # Panics
+    /// If the split's total or accelerator count disagrees with the
+    /// configuration.
+    pub fn set_mapping(&mut self, split: WorkloadSplit, threads: ThreadAlloc) {
+        assert_eq!(split.total, self.split.total, "split total mismatch");
+        assert_eq!(
+            split.num_accelerators, self.cfg.platform.num_accelerators,
+            "accelerator count mismatch"
+        );
+        self.split = split;
+        self.threads = threads;
+    }
+
+    /// The replicated model (read access for evaluation).
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// Capture a checkpoint of the model weights and settled mapping.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint::capture(
+            self.next_epoch,
+            self.model.flatten_params(),
+            &self.split,
+            &self.threads,
+        )
+    }
+
+    /// Restore a checkpoint captured from an identically-configured
+    /// trainer (same model dims, accelerator count, batch sizes).
+    ///
+    /// # Panics
+    /// If the checkpoint's shapes disagree with this configuration.
+    pub fn restore(&mut self, ckpt: &crate::checkpoint::Checkpoint) {
+        self.model.load_flat_params(&ckpt.params);
+        let split = ckpt.split();
+        assert_eq!(split.total, self.split.total, "checkpoint batch total mismatch");
+        self.split = split;
+        self.threads = ckpt.thread_alloc();
+        self.next_epoch = ckpt.epoch;
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Evaluate accuracy on a vertex set (single forward pass).
+    pub fn evaluate(&self, seeds: &[u32]) -> f32 {
+        if seeds.is_empty() {
+            return 0.0;
+        }
+        let mb = self.sampler.sample(&self.dataset.graph, seeds, u64::MAX / 2);
+        let x = gather_features(&self.dataset.data.features, &mb.input_nodes);
+        let logits = self.model.forward(&mb, &x);
+        let labels: Vec<u32> =
+            seeds.iter().map(|&s| self.dataset.data.labels[s as usize]).collect();
+        hyscale_tensor::accuracy(&logits, &labels)
+    }
+
+    /// Train `n` epochs, returning one report per epoch.
+    pub fn train_epochs(&mut self, n: usize) -> Vec<EpochReport> {
+        (0..n).map(|_| self.train_epoch()).collect()
+    }
+
+    /// Train up to `max_epochs`, evaluating on `val_seeds` after each
+    /// epoch, stopping early after `patience` epochs without validation
+    /// improvement. Returns the accumulated history.
+    pub fn fit(
+        &mut self,
+        max_epochs: usize,
+        val_seeds: &[u32],
+        patience: Option<usize>,
+    ) -> crate::metrics::TrainingHistory {
+        let mut history = crate::metrics::TrainingHistory::new();
+        let mut stopper = patience.map(|p| crate::metrics::EarlyStopping::new(p, 1e-4));
+        for _ in 0..max_epochs {
+            let report = self.train_epoch();
+            let val = self.evaluate(val_seeds);
+            history.record(&report, Some(val));
+            if let Some(s) = stopper.as_mut() {
+                if s.update(val) {
+                    break;
+                }
+            }
+        }
+        history
+    }
+
+    /// Train one epoch.
+    pub fn train_epoch(&mut self) -> EpochReport {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let wall_start = Instant::now();
+
+        let order = self.batcher.epoch_order(epoch);
+        let total_batch = self.split.total;
+        let scaled_iters = self.batcher.iterations(total_batch);
+        let functional_iters = self
+            .cfg
+            .train
+            .max_functional_iters
+            .map_or(scaled_iters, |cap| scaled_iters.min(cap))
+            .max(1);
+
+        let mut trace = Vec::with_capacity(functional_iters);
+        let mut sum_iter_time = 0.0f64;
+        let mut last_loss = f32::NAN;
+        let mut last_acc = 0.0f32;
+
+        for iter in 0..functional_iters {
+            let quotas = self.split.quotas();
+            let seed_sets = self.batcher.iteration_seeds(&order, iter, &quotas);
+            if seed_sets.iter().all(Vec::is_empty) {
+                break;
+            }
+
+            // --- Sampling: n mini-batches, one per (non-empty) trainer ---
+            let stream_base = epoch.wrapping_mul(1 << 20) + iter as u64 * 64;
+            let seed_refs: Vec<&[u32]> =
+                seed_sets.iter().map(|s| s.as_slice()).collect();
+            let batches: Vec<Option<MiniBatch>> = {
+                let non_empty: Vec<&[u32]> =
+                    seed_refs.iter().copied().filter(|s| !s.is_empty()).collect();
+                let mut sampled = self
+                    .sampler
+                    .sample_many(&self.dataset.graph, &non_empty, stream_base)
+                    .into_iter();
+                seed_refs
+                    .iter()
+                    .map(|s| if s.is_empty() { None } else { sampled.next() })
+                    .collect()
+            };
+
+            // --- Feature Loading (CPU-only stage); accelerator batches
+            // additionally pass through the wire-precision round-trip
+            // (identity at F32; the §VIII quantization extension) ---
+            let cpu_trainer_idx = if self.cfg.opt.hybrid { Some(0) } else { None };
+            let precision = self.cfg.train.transfer_precision;
+            let features: Vec<Option<Matrix>> = batches
+                .iter()
+                .enumerate()
+                .map(|(idx, b)| {
+                    b.as_ref().map(|mb| {
+                        let x = gather_features(&self.dataset.data.features, &mb.input_nodes);
+                        if Some(idx) == cpu_trainer_idx {
+                            x // CPU trainer reads host memory directly
+                        } else {
+                            precision.round_trip(&x)
+                        }
+                    })
+                })
+                .collect();
+
+            // --- Workload accounting for the timing layer ---
+            let zero = WorkloadStats::zero(self.dims.len() - 1);
+            let cpu_stats = if self.cfg.opt.hybrid {
+                batches[0].as_ref().map_or(zero.clone(), |b| b.stats())
+            } else {
+                zero.clone()
+            };
+            let accel_offset = usize::from(self.cfg.opt.hybrid);
+            let accel_stats: Vec<WorkloadStats> = (0..self.cfg.platform.num_accelerators)
+                .map(|a| {
+                    batches
+                        .get(accel_offset + a)
+                        .and_then(|b| b.as_ref())
+                        .map_or(zero.clone(), |b| b.stats())
+                })
+                .collect();
+
+            // --- GNN Propagation under the training protocol ---
+            let labels_of = |seeds: &[u32]| -> Vec<u32> {
+                seeds.iter().map(|&s| self.dataset.data.labels[s as usize]).collect()
+            };
+            let work: Vec<(usize, &MiniBatch, &Matrix, Vec<u32>)> = batches
+                .iter()
+                .zip(&features)
+                .zip(&seed_sets)
+                .enumerate()
+                .filter_map(|(idx, ((b, f), seeds))| {
+                    match (b.as_ref(), f.as_ref()) {
+                        (Some(b), Some(f)) if !seeds.is_empty() => {
+                            Some((idx, b, f, labels_of(seeds)))
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+
+            let round = Arc::new(TrainingRound::new(work.len()));
+            let model = &self.model;
+            let sync = &self.sync;
+            let mut results: Vec<(usize, f32, f32, usize)> = Vec::with_capacity(work.len());
+            let mut averaged: Option<Arc<Gradients>> = None;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, (idx, mb, x, labels))| {
+                        let round = Arc::clone(&round);
+                        scope.spawn(move || {
+                            let out = model.train_step(mb, x, labels);
+                            let batch = labels.len();
+                            let loss = out.loss;
+                            let acc = out.accuracy;
+                            // DONE++, wait for broadcast (Listing 1)
+                            let _avg = round.trainer_done(slot, out.grads);
+                            round.trainer_ack();
+                            (*idx, loss, acc, batch)
+                        })
+                    })
+                    .collect();
+                // Runtime thread: synchronize + wait for ACKs
+                averaged = Some(round.synchronize(sync));
+                round.runtime_wait_acks();
+                for h in handles {
+                    results.push(h.join().expect("trainer thread panicked"));
+                }
+            });
+            let averaged = averaged.expect("synchronizer ran");
+            // Identical update applied to the (conceptually replicated)
+            // model — replicas stay in lock-step.
+            self.model.apply_gradients(&averaged, self.optimizer.as_mut());
+
+            let total_seeds: usize = results.iter().map(|r| r.3).sum();
+            last_loss = results.iter().map(|r| r.1 * r.3 as f32).sum::<f32>() / total_seeds as f32;
+            last_acc = results.iter().map(|r| r.2 * r.3 as f32).sum::<f32>() / total_seeds as f32;
+
+            // --- Timing layer ---
+            let inputs = StageInputs {
+                cpu_stats: &cpu_stats,
+                accel_stats: &accel_stats,
+                dims: &self.dims,
+                width_factor: self.cfg.train.model.update_width_factor(),
+                model_bytes: self.model.nbytes() as u64,
+                sampling_on_accel: self.split.sampling_on_accel,
+                precision: self.cfg.train.transfer_precision,
+            };
+            let times =
+                compute_stage_times(&self.cfg.platform, &self.threads, &inputs, true);
+            let iter_time = if self.cfg.opt.tfp {
+                times.pipelined_iteration()
+            } else {
+                times.serial_iteration()
+            };
+            sum_iter_time += iter_time;
+            let edges: u64 = cpu_stats.total_edges()
+                + accel_stats.iter().map(WorkloadStats::total_edges).sum::<u64>();
+            let mteps = edges as f64 / iter_time / 1e6;
+
+            // --- DRM fine-tuning for the next iteration ---
+            let action = if self.cfg.opt.drm {
+                self.drm.adjust(&times, &mut self.split, &mut self.threads)
+            } else {
+                DrmAction::None
+            };
+
+            trace.push(IterationReport {
+                iter,
+                times,
+                iter_time_s: iter_time,
+                loss: last_loss,
+                accuracy: last_acc,
+                cpu_quota: self.split.cpu_quota,
+                drm_action: action,
+                mteps,
+            });
+        }
+
+        let _ = sum_iter_time;
+        // Steady-state iteration time: skip the first half of the trace
+        // while the DRM is still settling from the coarse design-time
+        // mapping (the paper measures warmed-up epochs).
+        let executed = trace.len().max(1);
+        let settled: Vec<f64> = if trace.len() >= 4 {
+            trace[trace.len() / 2..].iter().map(|t| t.iter_time_s).collect()
+        } else {
+            trace.iter().map(|t| t.iter_time_s).collect()
+        };
+        let mean_iter = if settled.is_empty() {
+            0.0
+        } else {
+            settled.iter().sum::<f64>() / settled.len() as f64
+        };
+        let full_iters = self.dataset.full_scale_iterations(total_batch);
+        let flush = if self.cfg.opt.tfp {
+            calib::PIPELINE_FLUSH_ITERS * mean_iter
+        } else {
+            0.0
+        };
+        let epoch_time = full_iters as f64 * mean_iter + flush;
+        let mteps =
+            trace.iter().map(|t| t.mteps).sum::<f64>() / executed as f64;
+
+        EpochReport {
+            epoch,
+            epoch_time_s: epoch_time,
+            mean_iter_time_s: mean_iter,
+            full_scale_iters: full_iters,
+            functional_iters: trace.len(),
+            loss: last_loss,
+            accuracy: last_acc,
+            mteps,
+            wall_s: wall_start.elapsed().as_secs_f64(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainConfig};
+    use hyscale_gnn::GnnKind;
+
+    fn toy_config(opt: OptFlags) -> SystemConfig {
+        SystemConfig {
+            platform: PlatformConfig::paper_node(AcceleratorKind::u250(), 2),
+            opt,
+            train: TrainConfig {
+                model: GnnKind::Gcn,
+                batch_per_trainer: 32,
+                fanouts: vec![5, 3],
+                hidden_dim: 16,
+                learning_rate: 0.3,
+                optimizer: crate::config::OptimizerKind::Sgd,
+                seed: 7,
+                max_functional_iters: Some(4),
+                transfer_precision: hyscale_tensor::Precision::F32,
+            },
+        }
+    }
+
+    #[test]
+    fn epoch_runs_and_reports() {
+        let ds = Dataset::toy(3);
+        let mut t = HybridTrainer::new(toy_config(OptFlags::full()), ds);
+        let r = t.train_epoch();
+        assert!(r.functional_iters >= 1);
+        assert!(r.epoch_time_s > 0.0);
+        assert!(r.loss.is_finite());
+        assert!(r.mteps > 0.0);
+        assert_eq!(r.epoch, 0);
+        let r2 = t.train_epoch();
+        assert_eq!(r2.epoch, 1);
+    }
+
+    #[test]
+    fn loss_decreases_across_epochs() {
+        let ds = Dataset::toy(5);
+        let mut cfg = toy_config(OptFlags::full());
+        cfg.train.max_functional_iters = Some(6);
+        let mut t = HybridTrainer::new(cfg, ds);
+        let reports = t.train_epochs(6);
+        let first = reports.first().unwrap().loss;
+        let last = reports.last().unwrap().loss;
+        assert!(
+            last < first * 0.9,
+            "training did not converge: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn tfp_shortens_iterations() {
+        let ds = Dataset::toy(9);
+        let mut with = HybridTrainer::new(toy_config(OptFlags::full()), ds.clone());
+        let mut cfg = toy_config(OptFlags::hybrid_drm());
+        cfg.train.seed = 7;
+        let mut without = HybridTrainer::new(cfg, ds);
+        let a = with.train_epoch().mean_iter_time_s;
+        let b = without.train_epoch().mean_iter_time_s;
+        assert!(a < b, "TFP {a} should beat serial {b}");
+    }
+
+    #[test]
+    fn baseline_has_no_cpu_trainer() {
+        let ds = Dataset::toy(11);
+        let mut t = HybridTrainer::new(toy_config(OptFlags::baseline()), ds);
+        let r = t.train_epoch();
+        assert_eq!(t.split().cpu_quota, 0);
+        assert!(r.trace.iter().all(|it| it.times.train_cpu == 0.0));
+    }
+
+    #[test]
+    fn drm_changes_mapping_when_enabled() {
+        let ds = Dataset::toy(13);
+        let mut cfg = toy_config(OptFlags::full());
+        cfg.train.max_functional_iters = Some(8);
+        let mut t = HybridTrainer::new(cfg, ds);
+        let r = t.train_epoch();
+        let acted = r
+            .trace
+            .iter()
+            .any(|it| it.drm_action != DrmAction::None);
+        assert!(acted, "DRM never acted: {:?}", r.trace.iter().map(|i| i.drm_action).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluation_accuracy_improves() {
+        let ds = Dataset::toy(17);
+        let test_seeds = ds.splits.test.clone();
+        let mut cfg = toy_config(OptFlags::full());
+        cfg.train.max_functional_iters = Some(6);
+        let mut t = HybridTrainer::new(cfg, ds);
+        let before = t.evaluate(&test_seeds);
+        t.train_epochs(8);
+        let after = t.evaluate(&test_seeds);
+        assert!(
+            after > before + 0.1,
+            "test accuracy did not improve: {before} -> {after}"
+        );
+        // learnable SBM: should beat random guessing (4 classes) solidly
+        assert!(after > 0.5, "final accuracy {after}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # hyscale-core
+//!
+//! The HyScale-GNN training system (the paper's primary contribution):
+//!
+//! * [`protocol`] — the Processor–Accelerator Training Protocol
+//!   (paper §III-C, Listing 1): DONE/ACK handshakes between trainer
+//!   threads, the synchronizer, and the runtime, built on
+//!   `parking_lot` mutex/condvar exactly like the paper's Pthreads
+//!   implementation.
+//! * [`sync`] — the Synchronizer: size-weighted gradient all-reduce
+//!   (gather → average → broadcast, paper §III-A).
+//! * [`drm`] — the Dynamic Resource Management engine (paper
+//!   Algorithm 1): a bottleneck-guided optimizer with `balance_work`
+//!   and `balance_thread` moves.
+//! * [`perf_model`] — the design-time performance model (paper §V,
+//!   Eq. 5–13) used for the initial task mapping and the scalability
+//!   study.
+//! * [`executor`] — the hybrid trainer: 4-stage pipeline (Sampling →
+//!   Feature Loading → Data Transfer → GNN Propagation) with Two-stage
+//!   Feature Prefetching (paper §IV-B), functional training plus
+//!   simulated device timing.
+//!
+//! The [`executor::HybridTrainer`] is the public entry point; see the
+//! workspace `examples/` for end-to-end usage.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod drm;
+pub mod executor;
+pub mod metrics;
+pub mod perf_model;
+pub mod pipeline;
+pub mod protocol;
+pub mod report;
+pub mod stages;
+pub mod sync;
+
+pub use config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainConfig};
+pub use drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+pub use executor::HybridTrainer;
+pub use perf_model::PerfModel;
+pub use report::{EpochReport, IterationReport};
+pub use stages::StageTimes;

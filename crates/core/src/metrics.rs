@@ -1,0 +1,164 @@
+//! Training-run metrics: history, moving averages, early stopping.
+//!
+//! The paper argues its optimizations preserve convergence rate; these
+//! helpers make convergence measurable across epochs in examples, tests
+//! and the CLI.
+
+use crate::report::EpochReport;
+
+/// Accumulated per-epoch history of a training run.
+#[derive(Debug, Default, Clone)]
+pub struct TrainingHistory {
+    /// Final loss per epoch.
+    pub loss: Vec<f32>,
+    /// Final training accuracy per epoch.
+    pub accuracy: Vec<f32>,
+    /// Validation accuracy per epoch (if recorded).
+    pub val_accuracy: Vec<f32>,
+    /// Simulated epoch time per epoch.
+    pub epoch_time_s: Vec<f64>,
+    /// Throughput per epoch.
+    pub mteps: Vec<f64>,
+}
+
+impl TrainingHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an epoch report (and optionally a validation accuracy).
+    pub fn record(&mut self, report: &EpochReport, val_accuracy: Option<f32>) {
+        self.loss.push(report.loss);
+        self.accuracy.push(report.accuracy);
+        if let Some(v) = val_accuracy {
+            self.val_accuracy.push(v);
+        }
+        self.epoch_time_s.push(report.epoch_time_s);
+        self.mteps.push(report.mteps);
+    }
+
+    /// Number of recorded epochs.
+    pub fn epochs(&self) -> usize {
+        self.loss.len()
+    }
+
+    /// Best (maximum) validation accuracy so far.
+    pub fn best_val_accuracy(&self) -> Option<f32> {
+        self.val_accuracy.iter().copied().fold(None, |best, v| {
+            Some(best.map_or(v, |b: f32| b.max(v)))
+        })
+    }
+
+    /// Trailing mean of the last `k` losses.
+    pub fn loss_tail_mean(&self, k: usize) -> Option<f32> {
+        if self.loss.is_empty() {
+            return None;
+        }
+        let k = k.min(self.loss.len()).max(1);
+        Some(self.loss[self.loss.len() - k..].iter().sum::<f32>() / k as f32)
+    }
+
+    /// Mean simulated epoch time.
+    pub fn mean_epoch_time(&self) -> Option<f64> {
+        if self.epoch_time_s.is_empty() {
+            return None;
+        }
+        Some(self.epoch_time_s.iter().sum::<f64>() / self.epoch_time_s.len() as f64)
+    }
+}
+
+/// Patience-based early stopping on validation accuracy.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Stop after `patience` epochs without ≥ `min_delta` improvement.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self { patience, min_delta, best: f32::NEG_INFINITY, since_best: 0 }
+    }
+
+    /// Record an epoch's validation metric; returns `true` when training
+    /// should stop.
+    pub fn update(&mut self, metric: f32) -> bool {
+        if metric > self.best + self.min_delta {
+            self.best = metric;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best >= self.patience
+    }
+
+    /// Best metric observed.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::EpochReport;
+
+    fn report(loss: f32, acc: f32) -> EpochReport {
+        EpochReport {
+            epoch: 0,
+            epoch_time_s: 1.0,
+            mean_iter_time_s: 0.01,
+            full_scale_iters: 100,
+            functional_iters: 4,
+            loss,
+            accuracy: acc,
+            mteps: 10.0,
+            wall_s: 0.1,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn history_records_and_summarizes() {
+        let mut h = TrainingHistory::new();
+        h.record(&report(1.0, 0.5), Some(0.55));
+        h.record(&report(0.5, 0.7), Some(0.72));
+        h.record(&report(0.4, 0.8), Some(0.70));
+        assert_eq!(h.epochs(), 3);
+        assert_eq!(h.best_val_accuracy(), Some(0.72));
+        assert!((h.loss_tail_mean(2).unwrap() - 0.45).abs() < 1e-6);
+        assert!((h.mean_epoch_time().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = TrainingHistory::new();
+        assert_eq!(h.epochs(), 0);
+        assert_eq!(h.best_val_accuracy(), None);
+        assert_eq!(h.loss_tail_mean(3), None);
+        assert_eq!(h.mean_epoch_time(), None);
+    }
+
+    #[test]
+    fn early_stopping_trips_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.01);
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6)); // improvement
+        assert!(!es.update(0.6)); // 1 stale
+        assert!(es.update(0.605)); // 2 stale (below min_delta)
+        assert!((es.best() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_stopping_resets_on_improvement() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(0.1));
+        assert!(!es.update(0.05));
+        assert!(!es.update(0.2)); // reset
+        assert!(!es.update(0.15));
+        assert!(es.update(0.15));
+    }
+}

@@ -1,0 +1,199 @@
+//! The Processor–Accelerator Training Protocol (paper §III-C, Listing 1).
+//!
+//! A faithful port of the paper's Pthreads handshake to
+//! `parking_lot::{Mutex, Condvar}`:
+//!
+//! * each **trainer** produces gradients, increments `DONE`, signals the
+//!   synchronizer, and blocks until the averaged gradients are broadcast;
+//! * the **synchronizer** waits until `DONE == n`, gathers + averages,
+//!   and broadcasts;
+//! * each trainer then **ACK**s; the **runtime** proceeds to the next
+//!   iteration once all ACKs have arrived.
+//!
+//! The protocol lives at the application layer: nothing here knows
+//! whether a trainer is a CPU, GPU, FPGA, or custom accelerator.
+
+use crate::sync::Synchronizer;
+use hyscale_gnn::Gradients;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct State {
+    /// Gradients deposited by trainers this iteration (`DONE` counter is
+    /// the number of `Some` entries).
+    slots: Vec<Option<Gradients>>,
+    done: usize,
+    averaged: Option<Arc<Gradients>>,
+    acks: usize,
+}
+
+/// Shared handshake state for one training round of `n` trainers.
+pub struct TrainingRound {
+    n: usize,
+    state: Mutex<State>,
+    trainer_signal: Condvar,
+    broadcast_signal: Condvar,
+    ack_signal: Condvar,
+}
+
+impl TrainingRound {
+    /// A round expecting `n` trainers.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one trainer");
+        Self {
+            n,
+            state: Mutex::new(State {
+                slots: (0..n).map(|_| None).collect(),
+                done: 0,
+                averaged: None,
+                acks: 0,
+            }),
+            trainer_signal: Condvar::new(),
+            broadcast_signal: Condvar::new(),
+            ack_signal: Condvar::new(),
+        }
+    }
+
+    /// Trainer side (Listing 1 `Trainer_threads`): deposit gradients,
+    /// `DONE++`, signal, wait for the averaged broadcast.
+    ///
+    /// # Panics
+    /// If `idx` is out of range or deposits twice.
+    pub fn trainer_done(&self, idx: usize, grads: Gradients) -> Arc<Gradients> {
+        let mut s = self.state.lock();
+        assert!(idx < self.n, "trainer index out of range");
+        assert!(s.slots[idx].is_none(), "trainer {idx} deposited twice");
+        s.slots[idx] = Some(grads);
+        s.done += 1;
+        self.trainer_signal.notify_all();
+        while s.averaged.is_none() {
+            self.broadcast_signal.wait(&mut s);
+        }
+        Arc::clone(s.averaged.as_ref().expect("broadcast present"))
+    }
+
+    /// Synchronizer side (Listing 1 `Synchronizer_thread`): wait for
+    /// `DONE == n`, gather, average, broadcast. Returns the average.
+    pub fn synchronize(&self, sync: &Synchronizer) -> Arc<Gradients> {
+        let mut s = self.state.lock();
+        while s.done != self.n {
+            self.trainer_signal.wait(&mut s);
+        }
+        let parts: Vec<Gradients> = s.slots.iter_mut().map(|g| g.take().expect("gradient")).collect();
+        let avg = Arc::new(sync.all_reduce(&parts));
+        s.averaged = Some(Arc::clone(&avg));
+        self.broadcast_signal.notify_all();
+        avg
+    }
+
+    /// Trainer acknowledgment after applying the weight update.
+    pub fn trainer_ack(&self) {
+        let mut s = self.state.lock();
+        s.acks += 1;
+        if s.acks == self.n {
+            self.ack_signal.notify_all();
+        }
+    }
+
+    /// Runtime side: block until every trainer has ACKed, then reset the
+    /// round for the next iteration.
+    pub fn runtime_wait_acks(&self) {
+        let mut s = self.state.lock();
+        while s.acks != self.n {
+            self.ack_signal.wait(&mut s);
+        }
+        // reset for reuse
+        s.done = 0;
+        s.acks = 0;
+        s.averaged = None;
+        for slot in &mut s.slots {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_tensor::Matrix;
+    use std::thread;
+
+    fn grad(v: f32, batch: usize) -> Gradients {
+        Gradients {
+            d_weights: vec![Matrix::full(2, 2, v)],
+            d_biases: vec![vec![v; 2]],
+            batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn full_round_handshake() {
+        let round = Arc::new(TrainingRound::new(3));
+        let sync = Synchronizer::new();
+        thread::scope(|s| {
+            for i in 0..3 {
+                let round = Arc::clone(&round);
+                s.spawn(move || {
+                    let avg = round.trainer_done(i, grad(i as f32, 10));
+                    // averaged value must be mean of 0,1,2 = 1.0
+                    assert!((avg.d_weights[0][(0, 0)] - 1.0).abs() < 1e-6);
+                    round.trainer_ack();
+                });
+            }
+            let avg = round.synchronize(&sync);
+            assert_eq!(avg.batch_size, 30);
+            round.runtime_wait_acks();
+        });
+    }
+
+    #[test]
+    fn round_is_reusable_across_iterations() {
+        let round = Arc::new(TrainingRound::new(2));
+        let sync = Synchronizer::new();
+        for iter in 0..3 {
+            thread::scope(|s| {
+                for i in 0..2 {
+                    let round = Arc::clone(&round);
+                    s.spawn(move || {
+                        let avg = round.trainer_done(i, grad(iter as f32, 5));
+                        assert!((avg.d_weights[0][(0, 0)] - iter as f32).abs() < 1e-6);
+                        round.trainer_ack();
+                    });
+                }
+                round.synchronize(&sync);
+                round.runtime_wait_acks();
+            });
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_batch_sizes() {
+        let round = Arc::new(TrainingRound::new(2));
+        let sync = Synchronizer::new();
+        thread::scope(|s| {
+            let r1 = Arc::clone(&round);
+            s.spawn(move || {
+                r1.trainer_done(0, grad(0.0, 30));
+                r1.trainer_ack();
+            });
+            let r2 = Arc::clone(&round);
+            s.spawn(move || {
+                r2.trainer_done(1, grad(4.0, 10));
+                r2.trainer_ack();
+            });
+            let avg = round.synchronize(&sync);
+            // (30*0 + 10*4)/40 = 1.0
+            assert!((avg.d_weights[0][(0, 0)] - 1.0).abs() < 1e-6);
+            round.runtime_wait_acks();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one trainer")]
+    fn rejects_zero_trainers() {
+        let _ = TrainingRound::new(0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Training reports: per-iteration traces and per-epoch summaries.
+
+use crate::drm::DrmAction;
+use crate::stages::StageTimes;
+
+/// One iteration's record.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// Iteration index within the epoch.
+    pub iter: usize,
+    /// Simulated stage times.
+    pub times: StageTimes,
+    /// Simulated iteration latency (pipelined or serial per config).
+    pub iter_time_s: f64,
+    /// Mean training loss across trainers (batch-weighted).
+    pub loss: f32,
+    /// Mean training accuracy across trainers (batch-weighted).
+    pub accuracy: f32,
+    /// CPU trainer seed quota at this iteration.
+    pub cpu_quota: usize,
+    /// DRM decision taken after this iteration.
+    pub drm_action: DrmAction,
+    /// Throughput in MTEPS (Eq. 5) for this iteration.
+    pub mteps: f64,
+}
+
+/// One epoch's summary.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Simulated epoch time extrapolated to the full-scale dataset
+    /// (iterations × mean iteration time + pipeline fill/flush).
+    pub epoch_time_s: f64,
+    /// Mean simulated iteration latency.
+    pub mean_iter_time_s: f64,
+    /// Full-scale iterations per epoch.
+    pub full_scale_iters: u64,
+    /// Functional iterations actually executed.
+    pub functional_iters: usize,
+    /// Final training loss of the epoch.
+    pub loss: f32,
+    /// Final training accuracy of the epoch.
+    pub accuracy: f32,
+    /// Mean throughput in MTEPS.
+    pub mteps: f64,
+    /// Host wall-clock seconds spent on the functional work.
+    pub wall_s: f64,
+    /// Per-iteration traces.
+    pub trace: Vec<IterationReport>,
+}
+
+impl EpochReport {
+    /// Fixed-width summary line for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "epoch {:>3}  sim {:>9.3}s  iter {:>8.4}s  loss {:>7.4}  acc {:>6.3}  {:>9.1} MTEPS",
+            self.epoch, self.epoch_time_s, self.mean_iter_time_s, self.loss, self.accuracy, self.mteps
+        )
+    }
+}
+
+impl std::fmt::Display for EpochReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_line_formats() {
+        let r = EpochReport {
+            epoch: 2,
+            epoch_time_s: 1.5,
+            mean_iter_time_s: 0.005,
+            full_scale_iters: 300,
+            functional_iters: 8,
+            loss: 1.23,
+            accuracy: 0.78,
+            mteps: 123.4,
+            wall_s: 0.9,
+            trace: Vec::new(),
+        };
+        let line = r.summary_line();
+        assert!(line.contains("epoch   2"));
+        assert!(line.contains("1.230"));
+        assert!(line.contains("MTEPS"));
+        assert_eq!(format!("{r}"), line);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pipeline stages and their per-iteration timings.
+//!
+//! HyScale-GNN decomposes training into four pipeline stages (paper
+//! §III-B): Sampling, Feature Loading, Data Transfer, and GNN
+//! Propagation. The DRM engine reasons about six measured times
+//! (Algorithm 1's inputs): sampling on CPU/accelerator, loading,
+//! transfer, and training on CPU/accelerator, plus synchronization.
+
+/// The tasks Algorithm 1 balances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Mini-batch sampling on the CPUs (`T_SC`).
+    SampleCpu,
+    /// Mini-batch sampling on the accelerators (`T_SA`).
+    SampleAccel,
+    /// Feature Loading from CPU memory (`T_Load`) — CPU-only stage.
+    Load,
+    /// GNN propagation on the CPU trainer (`T_TC`).
+    TrainCpu,
+    /// Bundled Data Transfer + accelerator training (`T_Accel =
+    /// max(T_Tran, T_TA)`, Algorithm 1 line 1).
+    Accel,
+}
+
+impl Stage {
+    /// Whether this task consumes CPU worker threads (candidates for
+    /// `balance_thread`).
+    pub fn is_cpu_task(self) -> bool {
+        matches!(self, Stage::SampleCpu | Stage::Load | Stage::TrainCpu)
+    }
+}
+
+/// Measured (simulated) execution time of each stage for one iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTimes {
+    /// Sampling on CPU, seconds.
+    pub sample_cpu: f64,
+    /// Sampling on accelerators, seconds.
+    pub sample_accel: f64,
+    /// Feature loading, seconds.
+    pub load: f64,
+    /// PCIe data transfer (max over parallel links), seconds.
+    pub transfer: f64,
+    /// CPU trainer propagation, seconds.
+    pub train_cpu: f64,
+    /// Accelerator trainer propagation (max over devices), seconds.
+    pub train_accel: f64,
+    /// Gradient all-reduce, seconds.
+    pub sync: f64,
+}
+
+impl StageTimes {
+    /// All-zero times.
+    pub fn zero() -> Self {
+        Self {
+            sample_cpu: 0.0,
+            sample_accel: 0.0,
+            load: 0.0,
+            transfer: 0.0,
+            train_cpu: 0.0,
+            train_accel: 0.0,
+            sync: 0.0,
+        }
+    }
+
+    /// Bundled accelerator time `T_Accel = max(T_Tran, T_TA)`
+    /// (Algorithm 1 line 1: transfer and accelerator-training times are
+    /// highly correlated).
+    pub fn accel(&self) -> f64 {
+        self.transfer.max(self.train_accel)
+    }
+
+    /// Combined sampling time (CPU and accelerator samplers run
+    /// concurrently).
+    pub fn sampling(&self) -> f64 {
+        self.sample_cpu.max(self.sample_accel)
+    }
+
+    /// Combined propagation time (CPU and accelerator trainers run
+    /// concurrently) plus synchronization.
+    pub fn propagation(&self) -> f64 {
+        self.train_cpu.max(self.train_accel) + self.sync
+    }
+
+    /// Pipelined iteration time with Two-stage Feature Prefetching
+    /// (paper Eq. 6): stages run concurrently on different resources, so
+    /// the steady-state iteration time is the slowest stage.
+    pub fn pipelined_iteration(&self) -> f64 {
+        self.sampling()
+            .max(self.load)
+            .max(self.transfer)
+            .max(self.propagation())
+    }
+
+    /// Serial iteration time without TFP: communication stages do not
+    /// overlap with compute (sampling → load → transfer → propagate →
+    /// sync).
+    pub fn serial_iteration(&self) -> f64 {
+        self.sampling() + self.load + self.transfer + self.propagation()
+    }
+
+    /// The DRM view: `(stage, time)` pairs of Algorithm 1's five tasks.
+    pub fn drm_tasks(&self) -> [(super::stages::Stage, f64); 5] {
+        [
+            (Stage::SampleCpu, self.sample_cpu),
+            (Stage::SampleAccel, self.sample_accel),
+            (Stage::Load, self.load),
+            (Stage::TrainCpu, self.train_cpu),
+            (Stage::Accel, self.accel()),
+        ]
+    }
+
+    /// Element-wise running average helper: `self + (other - self)/n`.
+    pub fn ewma_toward(&mut self, other: &StageTimes, alpha: f64) {
+        let mix = |a: &mut f64, b: f64| *a += alpha * (b - *a);
+        mix(&mut self.sample_cpu, other.sample_cpu);
+        mix(&mut self.sample_accel, other.sample_accel);
+        mix(&mut self.load, other.load);
+        mix(&mut self.transfer, other.transfer);
+        mix(&mut self.train_cpu, other.train_cpu);
+        mix(&mut self.train_accel, other.train_accel);
+        mix(&mut self.sync, other.sync);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> StageTimes {
+        StageTimes {
+            sample_cpu: 2.0,
+            sample_accel: 1.0,
+            load: 3.0,
+            transfer: 4.0,
+            train_cpu: 5.0,
+            train_accel: 6.0,
+            sync: 0.5,
+        }
+    }
+
+    #[test]
+    fn accel_bundles_transfer_and_training() {
+        assert_eq!(t().accel(), 6.0);
+        let mut x = t();
+        x.transfer = 9.0;
+        assert_eq!(x.accel(), 9.0);
+    }
+
+    #[test]
+    fn pipelined_is_max_serial_is_sum() {
+        let x = t();
+        // propagation = max(5,6)+0.5 = 6.5 -> pipeline bottleneck
+        assert_eq!(x.pipelined_iteration(), 6.5);
+        assert_eq!(x.serial_iteration(), 2.0 + 3.0 + 4.0 + 6.5);
+        assert!(x.pipelined_iteration() <= x.serial_iteration());
+    }
+
+    #[test]
+    fn drm_tasks_order_matches_algorithm_1() {
+        let tasks = t().drm_tasks();
+        assert_eq!(tasks[0].0, Stage::SampleCpu);
+        assert_eq!(tasks[4].0, Stage::Accel);
+        assert_eq!(tasks[4].1, 6.0);
+    }
+
+    #[test]
+    fn cpu_task_classification() {
+        assert!(Stage::SampleCpu.is_cpu_task());
+        assert!(Stage::Load.is_cpu_task());
+        assert!(Stage::TrainCpu.is_cpu_task());
+        assert!(!Stage::SampleAccel.is_cpu_task());
+        assert!(!Stage::Accel.is_cpu_task());
+    }
+
+    #[test]
+    fn ewma_moves_toward_target() {
+        let mut a = StageTimes::zero();
+        a.ewma_toward(&t(), 0.5);
+        assert_eq!(a.load, 1.5);
+        a.ewma_toward(&t(), 1.0);
+        assert_eq!(a.load, 3.0);
+    }
+}

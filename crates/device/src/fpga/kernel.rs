@@ -1,0 +1,316 @@
+//! Cycle-approximate functional simulation of the FPGA GNN kernel
+//! (paper §IV-C, Fig. 6).
+//!
+//! The datapath:
+//!
+//! 1. Edges are **sorted by source vertex** so edges sharing a source run
+//!    back-to-back.
+//! 2. The **Feature Duplicator** reads each distinct source feature from
+//!    device DRAM *once* and broadcasts it to the scatter-PEs; the
+//!    feature is reused `D_out(v)` times, cutting input traffic from
+//!    `O(|E^1|)` to `O(|V^0|)`.
+//! 3. `n` **S-PE/G-PE pairs** process `n` edges per beat, accumulating
+//!    into on-chip destination buffers.
+//! 4. The aggregated output feeds the **systolic update array** (`m` MACs)
+//!    directly — intermediates never touch DRAM; only the final layer
+//!    writes back.
+//!
+//! The simulator produces the numeric result (must match the reference
+//! CPU aggregation) *and* cycle/traffic counters (must match the
+//! analytical [`crate::timing::FpgaTiming`] model to first order).
+
+use hyscale_sampler::Block;
+use hyscale_tensor::{gemm_nn, Matrix};
+
+/// Hardware configuration of the kernel (paper Table IV: `(n, m)`).
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaKernelConfig {
+    /// Number of scatter-gather PE pairs (edges processed per beat).
+    pub n_pes: usize,
+    /// MAC units in the systolic update array.
+    pub m_macs: usize,
+    /// Vector lanes per PE (feature elements per cycle).
+    pub vec_lanes: usize,
+    /// On-chip buffer capacity in bytes (BRAM+URAM available to buffers).
+    pub onchip_bytes: usize,
+}
+
+impl Default for FpgaKernelConfig {
+    /// Table IV configuration on a U250: (n, m) = (8, 2048).
+    fn default() -> Self {
+        Self { n_pes: 8, m_macs: 2048, vec_lanes: 16, onchip_bytes: 54 * 1024 * 1024 }
+    }
+}
+
+/// Counters and results from one simulated kernel invocation.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Numeric output of the stage.
+    pub result: Matrix,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Bytes read from device DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to device DRAM.
+    pub dram_write_bytes: u64,
+    /// Peak on-chip buffer occupancy in bytes.
+    pub onchip_peak_bytes: u64,
+    /// True when the working set exceeded `onchip_bytes` (would spill on
+    /// real hardware).
+    pub spilled: bool,
+}
+
+/// Simulate the scatter-gather aggregation stage with per-edge
+/// coefficients `edge_coef` and per-destination self-loop coefficients
+/// `self_coef` (empty slice = no self loops; use uniform `1/deg` weights
+/// for mean aggregation).
+///
+/// `write_back` selects whether the result leaves the chip (final layer)
+/// or stays in on-chip buffers for the next stage (paper: "only the
+/// final output is written back").
+///
+/// # Panics
+/// If coefficient lengths disagree with the block.
+pub fn simulate_aggregation(
+    block: &Block,
+    h_src: &Matrix,
+    edge_coef: &[f32],
+    self_coef: &[f32],
+    config: &FpgaKernelConfig,
+    write_back: bool,
+) -> KernelRun {
+    assert_eq!(h_src.rows(), block.num_src, "h_src rows mismatch");
+    assert_eq!(edge_coef.len(), block.num_edges(), "edge coefficient count mismatch");
+    assert!(
+        self_coef.is_empty() || self_coef.len() == block.num_dst,
+        "self coefficient count mismatch"
+    );
+    let f = h_src.cols();
+    let read_cycles_per_row = (f as u64).div_ceil(config.vec_lanes as u64);
+
+    let mut result = Matrix::zeros(block.num_dst, f);
+    let mut cycles: u64 = 0;
+    let mut dram_read_bytes: u64 = 0;
+
+    // Self loops: destinations are the prefix of the source set; their
+    // rows stream through the duplicator once as well.
+    if !self_coef.is_empty() {
+        for d in 0..block.num_dst {
+            let c = self_coef[d];
+            let row = h_src.row(d);
+            let out = result.row_mut(d);
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += c * *x;
+            }
+        }
+        dram_read_bytes += (block.num_dst * f * 4) as u64;
+        cycles += block.num_dst as u64 * read_cycles_per_row;
+    }
+
+    // Edge phase: sorted by source; one DRAM read per distinct source,
+    // groups dispatched n edges per beat.
+    let edges = block.edges_sorted_by_src();
+    // edge_coef is indexed by original edge order; rebuild pairs with
+    // their coefficients in sorted order.
+    let mut order: Vec<usize> = (0..block.num_edges()).collect();
+    order.sort_by_key(|&i| block.edge_src[i]);
+
+    let mut i = 0usize;
+    while i < edges.len() {
+        let src = edges[i].0;
+        let mut group_end = i;
+        while group_end < edges.len() && edges[group_end].0 == src {
+            group_end += 1;
+        }
+        let group = group_end - i;
+        // duplicator: one DRAM read for this source row
+        dram_read_bytes += (f * 4) as u64;
+        let read_cycles = read_cycles_per_row;
+        // n PEs consume `group` edges; each edge costs ceil(f/lanes) cycles
+        let beats = (group as u64).div_ceil(config.n_pes as u64);
+        let proc_cycles = beats * read_cycles_per_row;
+        cycles += read_cycles.max(proc_cycles);
+
+        let src_row: Vec<f32> = h_src.row(src as usize).to_vec();
+        for k in i..group_end {
+            let orig = order[k];
+            let dst = block.edge_dst[orig] as usize;
+            let c = edge_coef[orig];
+            let out = result.row_mut(dst);
+            for (o, x) in out.iter_mut().zip(&src_row) {
+                *o += c * *x;
+            }
+        }
+        i = group_end;
+    }
+
+    // on-chip: destination accumulators + one duplicated source row
+    let onchip_peak_bytes = (block.num_dst * f * 4 + f * 4) as u64;
+    let spilled = onchip_peak_bytes > config.onchip_bytes as u64;
+    let dram_write_bytes = if write_back { (block.num_dst * f * 4) as u64 } else { 0 };
+    if write_back {
+        cycles += block.num_dst as u64 * read_cycles_per_row;
+    }
+
+    KernelRun { result, cycles, dram_read_bytes, dram_write_bytes, onchip_peak_bytes, spilled }
+}
+
+/// Simulate the systolic-array update stage: `Z = A·W + b`, consuming the
+/// aggregation output directly from on-chip buffers (zero DRAM reads for
+/// `A`; `W` is resident on-chip).
+pub fn simulate_update(
+    agg: &Matrix,
+    w: &Matrix,
+    bias: &[f32],
+    config: &FpgaKernelConfig,
+    write_back: bool,
+) -> KernelRun {
+    assert_eq!(agg.cols(), w.rows(), "GEMM inner dimension mismatch");
+    assert_eq!(bias.len(), w.cols(), "bias width mismatch");
+    let mut result = gemm_nn(agg, w);
+    hyscale_tensor::ops::add_bias_inplace(&mut result, bias);
+
+    let macs = agg.rows() as u64 * agg.cols() as u64 * w.cols() as u64;
+    let cycles = macs.div_ceil(config.m_macs as u64);
+    let onchip = (agg.nbytes() + w.nbytes() + result.nbytes()) as u64;
+    KernelRun {
+        dram_write_bytes: if write_back { result.nbytes() as u64 } else { 0 },
+        result,
+        cycles,
+        dram_read_bytes: 0,
+        onchip_peak_bytes: onchip,
+        spilled: onchip > config.onchip_bytes as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_tensor::init::randn;
+
+    fn block() -> Block {
+        Block {
+            num_src: 6,
+            num_dst: 3,
+            edge_src: vec![5, 0, 3, 0, 4, 1],
+            edge_dst: vec![0, 1, 2, 0, 1, 2],
+        }
+    }
+
+    /// Reference aggregation in arbitrary order (matches
+    /// hyscale_gnn::aggregate semantics).
+    fn reference(block: &Block, h: &Matrix, edge_coef: &[f32], self_coef: &[f32]) -> Matrix {
+        let f = h.cols();
+        let mut out = Matrix::zeros(block.num_dst, f);
+        if !self_coef.is_empty() {
+            for d in 0..block.num_dst {
+                for c in 0..f {
+                    out[(d, c)] += self_coef[d] * h[(d, c)];
+                }
+            }
+        }
+        for (i, (&s, &d)) in block.edge_src.iter().zip(&block.edge_dst).enumerate() {
+            for c in 0..f {
+                out[(d as usize, c)] += edge_coef[i] * h[(s as usize, c)];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn aggregation_matches_reference() {
+        let b = block();
+        let h = randn(6, 20, 3);
+        let edge_coef: Vec<f32> = (0..b.num_edges()).map(|i| 0.1 + i as f32 * 0.05).collect();
+        let self_coef: Vec<f32> = vec![0.5, 0.25, 1.0];
+        let run = simulate_aggregation(&b, &h, &edge_coef, &self_coef, &Default::default(), false);
+        let expect = reference(&b, &h, &edge_coef, &self_coef);
+        assert!(run.result.approx_eq(&expect, 1e-5), "FPGA sim diverges from reference");
+    }
+
+    #[test]
+    fn duplicator_reads_each_source_once() {
+        let b = Block {
+            num_src: 3,
+            num_dst: 2,
+            // source 0 has out-degree 3: must be read once, reused 3x
+            edge_src: vec![0, 0, 0, 2],
+            edge_dst: vec![0, 1, 0, 1],
+        };
+        let h = randn(3, 16, 1);
+        let coef = vec![1.0f32; 4];
+        let run = simulate_aggregation(&b, &h, &coef, &[], &Default::default(), false);
+        // 2 distinct sources referenced (0 and 2) * 16 floats * 4 bytes
+        assert_eq!(run.dram_read_bytes, 2 * 16 * 4);
+    }
+
+    #[test]
+    fn no_intermediate_writeback() {
+        let b = block();
+        let h = randn(6, 8, 2);
+        let coef = vec![1.0f32; b.num_edges()];
+        let inner = simulate_aggregation(&b, &h, &coef, &[], &Default::default(), false);
+        assert_eq!(inner.dram_write_bytes, 0);
+        let last = simulate_aggregation(&b, &h, &coef, &[], &Default::default(), true);
+        assert_eq!(last.dram_write_bytes, (3 * 8 * 4) as u64);
+    }
+
+    #[test]
+    fn cycles_scale_with_pe_count() {
+        // many edges from one source: beats = edges / n_pes
+        let e = 64;
+        let b = Block {
+            num_src: 2,
+            num_dst: 1,
+            edge_src: vec![0; e],
+            edge_dst: vec![0; e],
+        };
+        let h = randn(2, 16, 4);
+        let coef = vec![1.0f32; e];
+        let small = FpgaKernelConfig { n_pes: 2, ..Default::default() };
+        let big = FpgaKernelConfig { n_pes: 16, ..Default::default() };
+        let c_small = simulate_aggregation(&b, &h, &coef, &[], &small, false).cycles;
+        let c_big = simulate_aggregation(&b, &h, &coef, &[], &big, false).cycles;
+        assert!(
+            c_small > c_big * 4,
+            "PE scaling broken: {c_small} vs {c_big}"
+        );
+    }
+
+    #[test]
+    fn spill_detection() {
+        let b = block();
+        let h = randn(6, 64, 5);
+        let coef = vec![1.0f32; b.num_edges()];
+        let tiny = FpgaKernelConfig { onchip_bytes: 64, ..Default::default() };
+        let run = simulate_aggregation(&b, &h, &coef, &[], &tiny, false);
+        assert!(run.spilled);
+        let run2 = simulate_aggregation(&b, &h, &coef, &[], &Default::default(), false);
+        assert!(!run2.spilled);
+    }
+
+    #[test]
+    fn update_stage_matches_gemm() {
+        let agg = randn(5, 8, 6);
+        let w = randn(8, 3, 7);
+        let bias = vec![0.5f32, -0.5, 0.0];
+        let run = simulate_update(&agg, &w, &bias, &Default::default(), true);
+        let mut expect = gemm_nn(&agg, &w);
+        hyscale_tensor::ops::add_bias_inplace(&mut expect, &bias);
+        assert!(run.result.approx_eq(&expect, 1e-6));
+        assert_eq!(run.dram_read_bytes, 0, "A and W are on-chip");
+        assert_eq!(run.cycles, (5u64 * 8 * 3).div_ceil(2048));
+    }
+
+    #[test]
+    fn update_cycles_scale_with_macs() {
+        let agg = randn(64, 128, 8);
+        let w = randn(128, 64, 9);
+        let bias = vec![0.0f32; 64];
+        let small = FpgaKernelConfig { m_macs: 256, ..Default::default() };
+        let big = FpgaKernelConfig { m_macs: 4096, ..Default::default() };
+        let cs = simulate_update(&agg, &w, &bias, &small, false).cycles;
+        let cb = simulate_update(&agg, &w, &bias, &big, false).cycles;
+        assert_eq!(cs, cb * 16);
+    }
+}

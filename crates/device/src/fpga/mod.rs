@@ -1,0 +1,8 @@
+//! Functional FPGA kernel simulation (paper §IV-C, Fig. 6) and the
+//! resource model behind Table IV.
+
+pub mod kernel;
+pub mod resource;
+
+pub use kernel::{FpgaKernelConfig, KernelRun, simulate_aggregation, simulate_update};
+pub use resource::{ResourceUsage, U250_RESOURCES};

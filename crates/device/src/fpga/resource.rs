@@ -1,0 +1,121 @@
+//! FPGA resource model reproducing paper Table IV.
+//!
+//! Table IV reports, for parallelism `(n, m) = (8, 2048)` on the U250:
+//! LUTs 72 %, DSPs 90 %, URAM 48 %, BRAM 40 %. The model below is a
+//! linear cost per PE/MAC plus a fixed platform-shell base, calibrated
+//! once so that the Table IV point lands within a couple of percent; the
+//! value of the model is exploring *other* `(n, m)` points (which
+//! configurations fit) rather than absolute accuracy.
+
+/// Physical resources of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaResources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// UltraRAM blocks.
+    pub urams: u64,
+    /// Block-RAM (36 Kb) tiles.
+    pub brams: u64,
+}
+
+/// Xilinx Alveo U250 totals.
+pub const U250_RESOURCES: FpgaResources =
+    FpgaResources { luts: 1_728_000, dsps: 12_288, urams: 1_280, brams: 2_688 };
+
+/// Utilization of a kernel configuration, as fractions of the device.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceUsage {
+    /// LUT fraction used (0..=1+).
+    pub lut: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+    /// URAM fraction used.
+    pub uram: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+}
+
+impl ResourceUsage {
+    /// Estimate utilization for an `(n, m)` kernel on `device`.
+    ///
+    /// Cost model (calibrated to Table IV):
+    /// * LUTs: shell 100 K + 30 K per S-PE/G-PE pair (routing network,
+    ///   accumulators) + 450 per MAC (datapath glue).
+    /// * DSPs: 5.4 per MAC (fp32 multiply-add) + 16 per PE pair.
+    /// * URAM: 64 per PE pair (feature duplicator + result buffers) + 100
+    ///   for the weight buffer.
+    /// * BRAM: m/4 (systolic skew FIFOs) + 16 per PE + 437 shell.
+    pub fn estimate(n_pes: usize, m_macs: usize, device: &FpgaResources) -> Self {
+        let n = n_pes as f64;
+        let m = m_macs as f64;
+        let lut_used = 100_000.0 + n * 30_000.0 + m * 450.0;
+        let dsp_used = m * 5.4 + n * 16.0;
+        let uram_used = n * 64.0 + 100.0;
+        let bram_used = m / 4.0 + n * 16.0 + 437.0;
+        Self {
+            lut: lut_used / device.luts as f64,
+            dsp: dsp_used / device.dsps as f64,
+            uram: uram_used / device.urams as f64,
+            bram: bram_used / device.brams as f64,
+        }
+    }
+
+    /// Whether the configuration fits on the device.
+    pub fn fits(&self) -> bool {
+        self.lut <= 1.0 && self.dsp <= 1.0 && self.uram <= 1.0 && self.bram <= 1.0
+    }
+
+    /// Largest (n, m) with `m = 256·k` that fits the device, scanning n
+    /// in powers of two — a miniature design-space explorer.
+    pub fn max_config(device: &FpgaResources) -> (usize, usize) {
+        let mut best = (1, 256);
+        for np in [1usize, 2, 4, 8, 16, 32] {
+            for k in 1..=32 {
+                let m = 256 * k;
+                let u = Self::estimate(np, m, device);
+                if u.fits() && np * m > best.0 * best.1 {
+                    best = (np, m);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_point() {
+        let u = ResourceUsage::estimate(8, 2048, &U250_RESOURCES);
+        // Table IV: 72% LUT, 90% DSP, 48% URAM, 40% BRAM (±4 pts)
+        assert!((u.lut - 0.72).abs() < 0.04, "LUT {:.3}", u.lut);
+        assert!((u.dsp - 0.90).abs() < 0.04, "DSP {:.3}", u.dsp);
+        assert!((u.uram - 0.48).abs() < 0.04, "URAM {:.3}", u.uram);
+        assert!((u.bram - 0.40).abs() < 0.04, "BRAM {:.3}", u.bram);
+        assert!(u.fits());
+    }
+
+    #[test]
+    fn monotone_in_parallelism() {
+        let a = ResourceUsage::estimate(4, 1024, &U250_RESOURCES);
+        let b = ResourceUsage::estimate(8, 2048, &U250_RESOURCES);
+        assert!(a.lut < b.lut && a.dsp < b.dsp && a.uram < b.uram && a.bram < b.bram);
+    }
+
+    #[test]
+    fn oversized_config_rejected() {
+        let u = ResourceUsage::estimate(32, 8192, &U250_RESOURCES);
+        assert!(!u.fits());
+    }
+
+    #[test]
+    fn explorer_finds_table_iv_scale_design() {
+        let (n, m) = ResourceUsage::max_config(&U250_RESOURCES);
+        // the paper's (8, 2048) should be near the frontier
+        assert!(n * m >= 8 * 2048, "explorer found only ({n}, {m})");
+    }
+}

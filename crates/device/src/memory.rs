@@ -1,0 +1,158 @@
+//! Memory placement feasibility (the paper's motivating constraint).
+//!
+//! Prior single-node accelerated trainers (GraphACT, HP-GNN) store the
+//! input graph in *device* memory and therefore cannot train graphs whose
+//! features exceed 16–64 GB (paper §I, §VII). HyScale-GNN stores graph +
+//! features in CPU memory and streams mini-batches to devices. This
+//! module checks both placements so tests and examples can demonstrate
+//! the failure mode the paper is designed around.
+
+use crate::spec::DeviceSpec;
+use hyscale_graph::DatasetSpec;
+use hyscale_sampler::WorkloadStats;
+
+/// Where the full graph (topology + features) is resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// HyScale-GNN: graph in CPU DRAM, mini-batches streamed to devices.
+    HostMemory,
+    /// GraphACT/HP-GNN-style: entire graph resident in device memory.
+    DeviceMemory,
+}
+
+/// Outcome of a placement check.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    /// Chosen placement.
+    pub placement: Placement,
+    /// Bytes the full graph needs (topology + features + labels).
+    pub graph_bytes: u64,
+    /// Bytes of the per-iteration device working set (mini-batch
+    /// features + topology + model + activations).
+    pub minibatch_bytes: u64,
+    /// Capacity of the constraining memory, bytes.
+    pub capacity_bytes: u64,
+    /// Whether the placement fits.
+    pub fits: bool,
+}
+
+/// Full-graph footprint: CSR topology (8 B offsets per vertex + 4 B per
+/// edge) + f32 features + labels.
+pub fn graph_footprint_bytes(spec: &DatasetSpec) -> u64 {
+    let topology = spec.num_vertices * 8 + spec.num_edges * 4;
+    let features = spec.feature_bytes();
+    let labels = spec.num_vertices * 4;
+    topology + features + labels
+}
+
+/// Device working set of one mini-batch: gathered features, block
+/// topology, model replica, and activations.
+pub fn minibatch_footprint_bytes(stats: &WorkloadStats, dims: &[usize], model_bytes: u64) -> u64 {
+    let features = stats.feature_bytes(dims[0]);
+    let topology: u64 = stats.edges_per_layer.iter().map(|&e| e as u64 * 8).sum();
+    let activations: u64 = stats
+        .nodes_per_layer
+        .iter()
+        .zip(dims.iter().skip(1))
+        .map(|(&v, &f)| v as u64 * f as u64 * 4)
+        .sum();
+    features + topology + model_bytes + activations
+}
+
+/// Check the HyScale-GNN placement: graph in host DRAM (`host_capacity_gb`
+/// aggregate), mini-batch working set within each device.
+pub fn check_host_placement(
+    dataset: &DatasetSpec,
+    stats: &WorkloadStats,
+    dims: &[usize],
+    model_bytes: u64,
+    host_capacity_gb: f64,
+    device: &DeviceSpec,
+) -> PlacementReport {
+    let graph_bytes = graph_footprint_bytes(dataset);
+    let minibatch_bytes = minibatch_footprint_bytes(stats, dims, model_bytes);
+    let host_cap = (host_capacity_gb * 1e9) as u64;
+    let dev_cap = (device.mem_capacity_gb * 1e9) as u64;
+    // Double-buffered prefetch (paper §IV-B) keeps up to 3 batches
+    // resident: executing + transferred + in-flight.
+    let fits = graph_bytes <= host_cap && 3 * minibatch_bytes <= dev_cap;
+    PlacementReport {
+        placement: Placement::HostMemory,
+        graph_bytes,
+        minibatch_bytes,
+        capacity_bytes: host_cap.min(dev_cap),
+        fits,
+    }
+}
+
+/// Check the GraphACT/HP-GNN-style placement: full graph in device memory.
+pub fn check_device_placement(dataset: &DatasetSpec, device: &DeviceSpec) -> PlacementReport {
+    let graph_bytes = graph_footprint_bytes(dataset);
+    let cap = (device.mem_capacity_gb * 1e9) as u64;
+    PlacementReport {
+        placement: Placement::DeviceMemory,
+        graph_bytes,
+        minibatch_bytes: 0,
+        capacity_bytes: cap,
+        fits: graph_bytes <= cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ALVEO_U250, RTX_A5000};
+    use hyscale_graph::dataset::{MAG240M_HOMO, OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+    fn paper_stats() -> WorkloadStats {
+        WorkloadStats {
+            batch_size: 1024,
+            input_nodes: 220_000,
+            nodes_per_layer: vec![26_600, 1024],
+            edges_per_layer: vec![266_000, 25_600],
+        }
+    }
+
+    #[test]
+    fn large_graphs_do_not_fit_device_memory() {
+        // the paper's central motivation (§I)
+        for spec in [OGBN_PAPERS100M, MAG240M_HOMO] {
+            for dev in [RTX_A5000, ALVEO_U250] {
+                let r = check_device_placement(&spec, &dev);
+                assert!(!r.fits, "{} should not fit on {}", spec.name, dev.name);
+            }
+        }
+    }
+
+    #[test]
+    fn products_fits_device_memory() {
+        // medium-scale graphs were fine for prior work
+        let r = check_device_placement(&OGBN_PRODUCTS, &ALVEO_U250);
+        assert!(r.fits, "{} bytes on U250", r.graph_bytes);
+    }
+
+    #[test]
+    fn hyscale_placement_fits_everything() {
+        for spec in [OGBN_PRODUCTS, OGBN_PAPERS100M, MAG240M_HOMO] {
+            let dims = [spec.f0, spec.f1, spec.f2];
+            let r = check_host_placement(&spec, &paper_stats(), &dims, 10_000_000, 4096.0, &ALVEO_U250);
+            assert!(r.fits, "{} should fit host placement", spec.name);
+        }
+    }
+
+    #[test]
+    fn minibatch_footprint_counts_components() {
+        let stats = paper_stats();
+        let dims = [128usize, 256, 172];
+        let b = minibatch_footprint_bytes(&stats, &dims, 1000);
+        assert!(b > stats.feature_bytes(128));
+        assert!(b < 2 * 1024 * 1024 * 1024u64, "mini-batch should be << device memory");
+    }
+
+    #[test]
+    fn mag_footprint_exceeds_paper_quote() {
+        // paper quotes 202 GB for MAG240M (f16 release); our f32 is ~2x
+        let gb = graph_footprint_bytes(&MAG240M_HOMO) as f64 / 1e9;
+        assert!(gb > 300.0, "MAG240M footprint {gb} GB");
+    }
+}

@@ -1,0 +1,186 @@
+//! Device specifications (paper Table II plus the baselines' hardware
+//! from Table V).
+
+/// Processor / accelerator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Multi-core CPU.
+    Cpu,
+    /// GPU accelerator.
+    Gpu,
+    /// FPGA accelerator.
+    Fpga,
+    /// Any other AI accelerator attached via the generic protocol.
+    Custom,
+}
+
+/// Static description of a device, the inputs to every timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Peak FP32 throughput in TFLOPS.
+    pub peak_tflops: f64,
+    /// Device memory bandwidth in GB/s (CPU: per-socket DRAM).
+    pub mem_bandwidth_gbs: f64,
+    /// Device memory capacity in GB (CPU: per-socket DRAM).
+    pub mem_capacity_gb: f64,
+    /// Operating frequency in GHz.
+    pub freq_ghz: f64,
+    /// On-chip memory in MB (LLC / L2 / BRAM+URAM).
+    pub onchip_mb: f64,
+    /// Physical cores (CPU) or a nominal lane count (accelerators).
+    pub cores: usize,
+}
+
+impl DeviceSpec {
+    /// Peak multiply-accumulate rate (MAC/s) — the `N × freq` denominator
+    /// of paper Eq. 12 (1 MAC = 2 FLOPs).
+    pub fn macs_per_sec(&self) -> f64 {
+        self.peak_tflops * 1e12 / 2.0
+    }
+}
+
+/// AMD EPYC 7763 (Table II): 2.45 GHz, 3.6 TFLOPS, 256 MB L3, 205 GB/s.
+/// The evaluation platform is dual-socket (7.2 TFLOPS total, paper §I).
+pub const EPYC_7763: DeviceSpec = DeviceSpec {
+    name: "AMD EPYC 7763",
+    kind: DeviceKind::Cpu,
+    peak_tflops: 3.6,
+    mem_bandwidth_gbs: 205.0,
+    mem_capacity_gb: 1024.0,
+    freq_ghz: 2.45,
+    onchip_mb: 256.0,
+    cores: 64,
+};
+
+/// Nvidia RTX A5000 (Table II): 2.0 GHz, 27.8 TFLOPS, 6 MB L2, 768 GB/s,
+/// 24 GB GDDR6.
+pub const RTX_A5000: DeviceSpec = DeviceSpec {
+    name: "Nvidia RTX A5000",
+    kind: DeviceKind::Gpu,
+    peak_tflops: 27.8,
+    mem_bandwidth_gbs: 768.0,
+    mem_capacity_gb: 24.0,
+    freq_ghz: 2.0,
+    onchip_mb: 6.0,
+    cores: 8192,
+};
+
+/// Xilinx Alveo U250 (Table II): 300 MHz, 0.6 TFLOPS, 54 MB on-chip,
+/// 77 GB/s DDR4, 64 GB device DRAM.
+pub const ALVEO_U250: DeviceSpec = DeviceSpec {
+    name: "Xilinx Alveo U250",
+    kind: DeviceKind::Fpga,
+    peak_tflops: 0.6,
+    mem_bandwidth_gbs: 77.0,
+    mem_capacity_gb: 64.0,
+    freq_ghz: 0.3,
+    onchip_mb: 54.0,
+    cores: 12288, // DSP slices
+};
+
+/// Nvidia V100 (PaGraph's accelerator, Table V): 15.7 TFLOPS, 900 GB/s.
+pub const V100: DeviceSpec = DeviceSpec {
+    name: "Nvidia V100",
+    kind: DeviceKind::Gpu,
+    peak_tflops: 15.7,
+    mem_bandwidth_gbs: 900.0,
+    mem_capacity_gb: 16.0,
+    freq_ghz: 1.53,
+    onchip_mb: 6.0,
+    cores: 5120,
+};
+
+/// Nvidia P100 (P3's accelerator, Table V): 9.3 TFLOPS, 732 GB/s.
+pub const P100: DeviceSpec = DeviceSpec {
+    name: "Nvidia P100",
+    kind: DeviceKind::Gpu,
+    peak_tflops: 9.3,
+    mem_bandwidth_gbs: 732.0,
+    mem_capacity_gb: 16.0,
+    freq_ghz: 1.33,
+    onchip_mb: 4.0,
+    cores: 3584,
+};
+
+/// Nvidia T4 (DistDGLv2's accelerator, Table V): 8.1 TFLOPS, 320 GB/s.
+pub const T4: DeviceSpec = DeviceSpec {
+    name: "Nvidia T4",
+    kind: DeviceKind::Gpu,
+    peak_tflops: 8.1,
+    mem_bandwidth_gbs: 320.0,
+    mem_capacity_gb: 16.0,
+    freq_ghz: 1.59,
+    onchip_mb: 4.0,
+    cores: 2560,
+};
+
+/// Intel Xeon Platinum 8163 (PaGraph's host, Table V).
+pub const XEON_8163: DeviceSpec = DeviceSpec {
+    name: "Intel Xeon Platinum 8163",
+    kind: DeviceKind::Cpu,
+    peak_tflops: 1.9,
+    mem_bandwidth_gbs: 119.0,
+    mem_capacity_gb: 512.0,
+    freq_ghz: 2.5,
+    onchip_mb: 33.0,
+    cores: 24,
+};
+
+/// Intel Xeon E5-2690 (P3's host, Table V).
+pub const XEON_E5_2690: DeviceSpec = DeviceSpec {
+    name: "Intel Xeon E5-2690",
+    kind: DeviceKind::Cpu,
+    peak_tflops: 0.7,
+    mem_bandwidth_gbs: 76.8,
+    mem_capacity_gb: 256.0,
+    freq_ghz: 2.6,
+    onchip_mb: 35.0,
+    cores: 14,
+};
+
+/// Paper Table II as printable rows (used by the `tab02_platforms`
+/// harness binary).
+pub fn table_ii() -> [DeviceSpec; 3] {
+    [EPYC_7763, RTX_A5000, ALVEO_U250]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper() {
+        assert_eq!(EPYC_7763.peak_tflops, 3.6);
+        assert_eq!(EPYC_7763.mem_bandwidth_gbs, 205.0);
+        assert_eq!(EPYC_7763.onchip_mb, 256.0);
+        assert_eq!(RTX_A5000.peak_tflops, 27.8);
+        assert_eq!(RTX_A5000.mem_bandwidth_gbs, 768.0);
+        assert_eq!(ALVEO_U250.peak_tflops, 0.6);
+        assert_eq!(ALVEO_U250.mem_bandwidth_gbs, 77.0);
+        assert_eq!(ALVEO_U250.freq_ghz, 0.3);
+    }
+
+    #[test]
+    fn hybrid_speedup_motivation() {
+        // Paper §I: dual 7763 (7.2 TF) + A5000 (27.8 TF) => potential
+        // (7.2+27.8)/27.8 = 1.26x over GPU-only.
+        let cpu2 = 2.0 * EPYC_7763.peak_tflops;
+        let ratio = (cpu2 + RTX_A5000.peak_tflops) / RTX_A5000.peak_tflops;
+        assert!((ratio - 1.259).abs() < 0.01);
+    }
+
+    #[test]
+    fn macs_rate() {
+        assert!((ALVEO_U250.macs_per_sec() - 0.3e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn gpu_beats_fpga_on_paper_compute() {
+        // sanity: speedups must come from the system design, not specs
+        assert!(RTX_A5000.peak_tflops > 40.0 * ALVEO_U250.peak_tflops);
+    }
+}

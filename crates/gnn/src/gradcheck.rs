@@ -1,0 +1,177 @@
+//! Finite-difference gradient checking.
+//!
+//! The backward passes in [`crate::model`] are hand-derived; this module
+//! verifies them numerically on small instances. Exposed as a library
+//! function (not just a test helper) so downstream crates can gate
+//! device-trainer implementations on the same check.
+
+use crate::model::{GnnKind, GnnModel};
+use hyscale_sampler::MiniBatch;
+use hyscale_tensor::{softmax_cross_entropy, Matrix};
+
+/// Result of a gradient check: worst relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// max |analytic − numeric| / max(1, |analytic|, |numeric|)
+    pub max_rel_error: f32,
+    /// Number of parameters probed.
+    pub checked: usize,
+}
+
+/// Compare analytic gradients against central finite differences for a
+/// subsample of parameters (every `stride`-th weight) of every layer.
+///
+/// Uses f32 arithmetic, so tolerances of ~1e-2 relative are expected for
+/// deep compositions; the test suite asserts `< 2e-2`.
+pub fn check_gradients(
+    kind: GnnKind,
+    dims: &[usize],
+    mb: &MiniBatch,
+    x: &Matrix,
+    labels: &[u32],
+    stride: usize,
+    seed: u64,
+) -> GradCheckReport {
+    let model = GnnModel::new(kind, dims, seed);
+    let analytic = model.train_step(mb, x, labels).grads;
+
+    let mut max_rel = 0.0f32;
+    let mut checked = 0usize;
+    let eps = 2e-2f32;
+
+    let base = model.flatten_params();
+    let mut offset = 0usize;
+    for (layer, shape) in model.weight_shapes().into_iter().enumerate() {
+        let w_len = shape.0 * shape.1;
+        let b_len = analytic.d_biases[layer].len();
+        for idx in (0..w_len).step_by(stride.max(1)) {
+            let an = analytic.d_weights[layer].as_slice()[idx];
+            let num = numeric_grad(kind, dims, mb, x, labels, seed, &base, offset + idx, eps);
+            let rel = (an - num).abs() / an.abs().max(num.abs()).max(1.0);
+            if rel > max_rel {
+                max_rel = rel;
+            }
+            checked += 1;
+        }
+        // probe a couple of biases too
+        for bi in (0..b_len).step_by((b_len / 2).max(1)) {
+            let an = analytic.d_biases[layer][bi];
+            let num =
+                numeric_grad(kind, dims, mb, x, labels, seed, &base, offset + w_len + bi, eps);
+            let rel = (an - num).abs() / an.abs().max(num.abs()).max(1.0);
+            if rel > max_rel {
+                max_rel = rel;
+            }
+            checked += 1;
+        }
+        offset += w_len + b_len;
+    }
+    GradCheckReport { max_rel_error: max_rel, checked }
+}
+
+/// Loss of a model whose flattened parameters are `params` with one entry
+/// perturbed; rebuilt from scratch each call (slow, test-only scale).
+fn loss_with_params(
+    kind: GnnKind,
+    dims: &[usize],
+    mb: &MiniBatch,
+    x: &Matrix,
+    labels: &[u32],
+    seed: u64,
+    params: &[f32],
+) -> f32 {
+    let mut model = GnnModel::new(kind, dims, seed);
+    model.load_flat_params(params);
+    let logits = model.forward(mb, x);
+    softmax_cross_entropy(&logits, labels).loss
+}
+
+fn numeric_grad(
+    kind: GnnKind,
+    dims: &[usize],
+    mb: &MiniBatch,
+    x: &Matrix,
+    labels: &[u32],
+    seed: u64,
+    base: &[f32],
+    idx: usize,
+    eps: f32,
+) -> f32 {
+    let mut plus = base.to_vec();
+    plus[idx] += eps;
+    let mut minus = base.to_vec();
+    minus[idx] -= eps;
+    let lp = loss_with_params(kind, dims, mb, x, labels, seed, &plus);
+    let lm = loss_with_params(kind, dims, mb, x, labels, seed, &minus);
+    (lp - lm) / (2.0 * eps)
+}
+
+impl GnnModel {
+    /// Load parameters from a flat buffer produced by
+    /// [`GnnModel::flatten_params`]. Test/checkpoint utility.
+    ///
+    /// # Panics
+    /// If the buffer length does not match the parameter count.
+    pub fn load_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        let mut offset = 0usize;
+        let shapes = self.weight_shapes();
+        for l in 0..shapes.len() {
+            let (r, c) = shapes[l];
+            let w_len = r * c;
+            let w = Matrix::from_vec(r, c, flat[offset..offset + w_len].to_vec());
+            offset += w_len;
+            let b_len = c;
+            let b = flat[offset..offset + b_len].to_vec();
+            offset += b_len;
+            self.set_layer_params(l, w, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::features::gather_features;
+    use hyscale_graph::Dataset;
+    use hyscale_sampler::NeighborSampler;
+
+    fn gradcheck_case(kind: GnnKind) -> GradCheckReport {
+        let ds = Dataset::toy(5);
+        let sampler = NeighborSampler::new(vec![4, 3], 1);
+        let seeds: Vec<u32> = ds.splits.train[..6].to_vec();
+        let mb = sampler.sample(&ds.graph, &seeds, 0);
+        let x = gather_features(&ds.data.features, &mb.input_nodes);
+        let labels: Vec<u32> = seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
+        check_gradients(kind, &[16, 8, 4], &mb, &x, &labels, 23, 3)
+    }
+
+    #[test]
+    fn gcn_gradients_match_finite_difference() {
+        let rep = gradcheck_case(GnnKind::Gcn);
+        assert!(rep.checked > 10);
+        assert!(rep.max_rel_error < 2e-2, "GCN gradcheck error {}", rep.max_rel_error);
+    }
+
+    #[test]
+    fn sage_gradients_match_finite_difference() {
+        let rep = gradcheck_case(GnnKind::GraphSage);
+        assert!(rep.checked > 10);
+        assert!(rep.max_rel_error < 2e-2, "SAGE gradcheck error {}", rep.max_rel_error);
+    }
+
+    #[test]
+    fn gin_gradients_match_finite_difference() {
+        let rep = gradcheck_case(GnnKind::Gin);
+        assert!(rep.checked > 10);
+        assert!(rep.max_rel_error < 2e-2, "GIN gradcheck error {}", rep.max_rel_error);
+    }
+
+    #[test]
+    fn flat_param_roundtrip() {
+        let mut m = GnnModel::new(GnnKind::Gcn, &[6, 5, 3], 2);
+        let flat = m.flatten_params();
+        m.load_flat_params(&flat);
+        assert_eq!(m.flatten_params(), flat);
+    }
+}

@@ -1,0 +1,181 @@
+//! Gradient containers and the weighted all-reduce average.
+//!
+//! Synchronous SGD gathers per-trainer gradients, averages them, and
+//! broadcasts the result (paper §II-B, §III-A "Synchronizer"). With the
+//! DRM engine re-balancing batch sizes, trainers contribute *unequal*
+//! batch fractions; weighting each gradient by its batch size makes the
+//! averaged gradient exactly equal to the gradient of the concatenated
+//! batch — the mechanism behind the paper's "optimizations do not alter
+//! the semantics" guarantee.
+
+use hyscale_tensor::Matrix;
+
+/// Per-layer parameter gradients (`∂W`, `∂b`) plus the contributing batch
+/// size.
+#[derive(Clone)]
+pub struct Gradients {
+    /// Weight gradients, one per layer.
+    pub d_weights: Vec<Matrix>,
+    /// Bias gradients, one per layer.
+    pub d_biases: Vec<Vec<f32>>,
+    /// Number of seed vertices that produced these gradients.
+    pub batch_size: usize,
+}
+
+impl Gradients {
+    /// Zero gradients matching the given layer shapes.
+    pub fn zeros_like(shapes: &[(usize, usize)]) -> Self {
+        Self {
+            d_weights: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect(),
+            d_biases: shapes.iter().map(|&(_, c)| vec![0.0; c]).collect(),
+            batch_size: 0,
+        }
+    }
+
+    /// Number of layers covered.
+    pub fn num_layers(&self) -> usize {
+        self.d_weights.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.d_weights.iter().map(Matrix::len).sum::<usize>()
+            + self.d_biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Size in bytes of one gradient exchange — the all-reduce payload of
+    /// Eq. 13's numerator (model size).
+    pub fn nbytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+
+    /// Batch-size-weighted average of many trainers' gradients.
+    ///
+    /// Each input gradient is assumed to be *mean over its own batch*
+    /// (standard loss reduction); the weighted combination therefore
+    /// equals the mean over the union batch.
+    ///
+    /// # Panics
+    /// If `parts` is empty, shapes disagree, or all batch sizes are zero.
+    pub fn weighted_average(parts: &[Gradients]) -> Gradients {
+        assert!(!parts.is_empty(), "no gradients to average");
+        let total: usize = parts.iter().map(|g| g.batch_size).sum();
+        assert!(total > 0, "all contributing batches are empty");
+        let layers = parts[0].num_layers();
+        let mut out = Gradients {
+            d_weights: parts[0]
+                .d_weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
+            d_biases: parts[0].d_biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+            batch_size: total,
+        };
+        for g in parts {
+            assert_eq!(g.num_layers(), layers, "layer count mismatch in all-reduce");
+            if g.batch_size == 0 {
+                continue;
+            }
+            let w = g.batch_size as f32 / total as f32;
+            for (acc, part) in out.d_weights.iter_mut().zip(&g.d_weights) {
+                acc.axpy(w, part);
+            }
+            for (acc, part) in out.d_biases.iter_mut().zip(&g.d_biases) {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += w * *p;
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry across all gradients (for divergence
+    /// detection in tests).
+    pub fn max_abs(&self) -> f32 {
+        let w = self.d_weights.iter().map(Matrix::max_abs).fold(0.0f32, f32::max);
+        let b = self
+            .d_biases
+            .iter()
+            .flat_map(|b| b.iter())
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        w.max(b)
+    }
+
+    /// Approximate equality for tests.
+    pub fn approx_eq(&self, other: &Gradients, tol: f32) -> bool {
+        self.num_layers() == other.num_layers()
+            && self
+                .d_weights
+                .iter()
+                .zip(&other.d_weights)
+                .all(|(a, b)| a.approx_eq(b, tol))
+            && self.d_biases.iter().zip(&other.d_biases).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        let d = (x - y).abs();
+                        d <= tol || d <= tol * x.abs().max(y.abs())
+                    })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(v: f32, batch: usize) -> Gradients {
+        Gradients {
+            d_weights: vec![Matrix::full(2, 2, v)],
+            d_biases: vec![vec![v; 2]],
+            batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn equal_batches_average_evenly() {
+        let avg = Gradients::weighted_average(&[grad(1.0, 10), grad(3.0, 10)]);
+        assert!((avg.d_weights[0][(0, 0)] - 2.0).abs() < 1e-6);
+        assert!((avg.d_biases[0][0] - 2.0).abs() < 1e-6);
+        assert_eq!(avg.batch_size, 20);
+    }
+
+    #[test]
+    fn unequal_batches_weight_by_size() {
+        // 30 seeds @ grad 1.0, 10 seeds @ grad 5.0 => (30*1 + 10*5)/40 = 2.0
+        let avg = Gradients::weighted_average(&[grad(1.0, 30), grad(5.0, 10)]);
+        assert!((avg.d_weights[0][(0, 0)] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_batch_contributes_nothing() {
+        let avg = Gradients::weighted_average(&[grad(1.0, 10), grad(99.0, 0)]);
+        assert!((avg.d_weights[0][(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nbytes_matches_param_count() {
+        let g = grad(0.0, 1);
+        assert_eq!(g.num_params(), 6);
+        assert_eq!(g.nbytes(), 24);
+    }
+
+    #[test]
+    fn zeros_like_shapes() {
+        let g = Gradients::zeros_like(&[(3, 4), (4, 2)]);
+        assert_eq!(g.d_weights[0].shape(), (3, 4));
+        assert_eq!(g.d_biases[1].len(), 2);
+        assert_eq!(g.max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all contributing batches are empty")]
+    fn rejects_all_empty() {
+        let _ = Gradients::weighted_average(&[grad(1.0, 0)]);
+    }
+
+    #[test]
+    fn approx_eq_detects_difference() {
+        assert!(grad(1.0, 1).approx_eq(&grad(1.0, 2), 1e-6));
+        assert!(!grad(1.0, 1).approx_eq(&grad(1.1, 1), 1e-6));
+    }
+}

@@ -1,0 +1,139 @@
+//! Incremental edge-list builder with normalisation options.
+
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId};
+
+/// Collects edges, then normalises (sort / dedup / drop self-loops /
+/// symmetrize) and freezes into a [`CsrGraph`].
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    dedup: bool,
+    drop_self_loops: bool,
+    symmetrize: bool,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            dedup: false,
+            drop_self_loops: false,
+            symmetrize: false,
+        }
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Remove duplicate edges when building.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self-loops when building.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Add the reverse of every edge when building (undirected view).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Append one edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Append many edges.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Current number of staged edges (before normalisation).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Normalise and freeze into CSR.
+    pub fn build(mut self) -> Result<CsrGraph, GraphError> {
+        if self.symmetrize {
+            let rev: Vec<_> = self.edges.iter().map(|&(s, t)| (t, s)).collect();
+            self.edges.extend(rev);
+        }
+        if self.drop_self_loops {
+            self.edges.retain(|&(s, t)| s != t);
+        }
+        if self.dedup || self.symmetrize {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        CsrGraph::from_edges(self.num_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_plain() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut b = GraphBuilder::new(2).dedup(true);
+        b.add_edges([(0, 1), (0, 1), (1, 0)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2).drop_self_loops(true);
+        b.add_edges([(0, 0), (0, 1), (1, 1)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_and_dedups() {
+        let mut b = GraphBuilder::new(3).symmetrize(true);
+        b.add_edges([(0, 1), (1, 0), (1, 2)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn out_of_range_propagates() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 3);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn staged_edges_counts() {
+        let mut b = GraphBuilder::with_capacity(4, 16);
+        b.add_edges([(0, 1), (2, 3)]);
+        assert_eq!(b.staged_edges(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! Compressed sparse row graph storage.
+//!
+//! The input graph topology `G(V, E)` is stored once in CPU memory
+//! (paper §III-B); samplers walk out-neighbour lists, and the FPGA
+//! aggregation kernel consumes source-sorted edge lists derived from CSR.
+
+use crate::types::{EdgeCount, GraphError, VertexId};
+
+/// Directed graph in CSR form: `offsets[v]..offsets[v+1]` indexes into
+/// `targets`, listing the out-neighbours of `v`.
+///
+/// Invariants (checked by [`CsrGraph::validate`], enforced by
+/// constructors):
+/// * `offsets.len() == num_vertices + 1`
+/// * `offsets` monotone non-decreasing, `offsets[0] == 0`,
+///   `offsets[num_vertices] == targets.len()`
+/// * every target `< num_vertices`
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Construct from raw CSR arrays, validating all invariants.
+    pub fn from_raw(offsets: Vec<u64>, targets: Vec<VertexId>) -> Result<Self, GraphError> {
+        let g = Self { offsets, targets };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Construct from an unsorted edge list via counting sort; `O(V + E)`.
+    ///
+    /// Multi-edges and self-loops are preserved (callers that need
+    /// dedup/sorting use [`crate::builder::GraphBuilder`]).
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, GraphError> {
+        for &(s, t) in edges {
+            let max = s.max(t);
+            if max as usize >= num_vertices {
+                return Err(GraphError::VertexOutOfRange { vertex: max, num_vertices });
+            }
+        }
+        let mut counts = vec![0u64; num_vertices + 1];
+        for &(s, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; edges.len()];
+        for &(s, t) in edges {
+            let slot = cursor[s as usize];
+            targets[slot as usize] = t;
+            cursor[s as usize] += 1;
+        }
+        Ok(Self { offsets, targets })
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], targets: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> EdgeCount {
+        self.targets.len() as EdgeCount
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    /// If `v` is out of range (debug assertions).
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        debug_assert!(v < self.num_vertices());
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Out-neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        debug_assert!(v < self.num_vertices());
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Raw offset array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw target array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_vertices() as f64
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Check all CSR invariants.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.num_vertices();
+        if self.offsets.is_empty() {
+            return Err(GraphError::BadOffsetLength { got: 0, expected: 1 });
+        }
+        if self.offsets[0] != 0 {
+            return Err(GraphError::NonMonotonicOffsets { at: 0 });
+        }
+        for i in 0..n {
+            if self.offsets[i + 1] < self.offsets[i] {
+                return Err(GraphError::NonMonotonicOffsets { at: i + 1 });
+            }
+        }
+        if self.offsets[n] != self.targets.len() as u64 {
+            return Err(GraphError::BadOffsetLength {
+                got: self.targets.len(),
+                expected: self.offsets[n] as usize,
+            });
+        }
+        for (i, &t) in self.targets.iter().enumerate() {
+            if t as usize >= n {
+                let _ = i;
+                return Err(GraphError::VertexOutOfRange { vertex: t, num_vertices: n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reverse (transpose) graph: edge `(u,v)` becomes `(v,u)`.
+    pub fn reverse(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut counts = vec![0u64; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for s in 0..n {
+            for &t in self.neighbors(s as VertexId) {
+                let slot = cursor[t as usize];
+                targets[slot as usize] = s as VertexId;
+                cursor[t as usize] += 1;
+            }
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Undirected view: union of the graph and its reverse, with
+    /// duplicate edges removed. Neighbour lists come out sorted.
+    pub fn symmetrize(&self) -> CsrGraph {
+        let rev = self.reverse();
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::with_capacity(self.targets.len() * 2);
+        let mut merged: Vec<VertexId> = Vec::new();
+        for v in 0..n as VertexId {
+            merged.clear();
+            merged.extend_from_slice(self.neighbors(v));
+            merged.extend_from_slice(rev.neighbors(v));
+            merged.sort_unstable();
+            merged.dedup();
+            targets.extend_from_slice(&merged);
+            offsets.push(targets.len() as u64);
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Approximate resident size in bytes (offsets + targets), i.e. the
+    /// CPU-memory footprint of the topology (used by the memory model).
+    pub fn nbytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Edge list sorted by source vertex — the order the FPGA kernel's
+    /// feature duplicator requires (paper §IV-C: "sorts the edges within a
+    /// mini-batch by their source vertex"). CSR is already source-grouped,
+    /// so this is a linear scan.
+    pub fn edges_by_source(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.targets.len());
+        for s in 0..self.num_vertices() as VertexId {
+            for &t in self.neighbors(s) {
+                out.push((s, t));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.out_degree(1), 1);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = CsrGraph::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrGraph::from_raw(vec![0, 1, 2], vec![1, 0]).is_ok());
+        assert!(matches!(
+            CsrGraph::from_raw(vec![0, 2, 1], vec![1, 0]),
+            Err(GraphError::NonMonotonicOffsets { at: 2 })
+        ));
+        assert!(matches!(
+            CsrGraph::from_raw(vec![0, 1, 3], vec![1, 0]),
+            Err(GraphError::BadOffsetLength { .. })
+        ));
+        assert!(matches!(
+            CsrGraph::from_raw(vec![0, 1, 2], vec![1, 7]),
+            Err(GraphError::VertexOutOfRange { vertex: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.num_edges(), 4);
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.neighbors(0), &[] as &[VertexId]);
+        // reverse twice = original edge multiset
+        let rr = r.reverse();
+        let mut a = g.edges_by_source();
+        let mut b = rr.edges_by_source();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetrize_makes_undirected() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let s = g.symmetrize();
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+        assert_eq!(s.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = diamond();
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn multi_edges_preserved() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn edges_by_source_is_sorted_by_source() {
+        let g = diamond();
+        let e = g.edges_by_source();
+        assert!(e.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn nbytes_counts_both_arrays() {
+        let g = diamond();
+        assert_eq!(g.nbytes(), 5 * 8 + 4 * 4);
+    }
+}

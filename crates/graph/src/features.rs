@@ -1,0 +1,191 @@
+//! CPU-resident vertex features and labels.
+//!
+//! The feature matrix `X` is stored in CPU memory (paper §III-B step 2:
+//! "an input feature matrix X is too large to fit in the device memory
+//! for large-scale graphs"). The Feature Loader gathers sampled rows into
+//! the mini-batch matrix `X'`.
+
+use crate::csr::CsrGraph;
+use hyscale_tensor::init::randn;
+use hyscale_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Vertex features plus labels, the trainable payload of a dataset.
+#[derive(Clone)]
+pub struct VertexData {
+    /// `|V| × f0` feature matrix, row `v` = features of vertex `v`.
+    pub features: Matrix,
+    /// Class label per vertex.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl VertexData {
+    /// Pure-noise features with uniform random labels (stress testing).
+    pub fn random(num_vertices: usize, feat_dim: usize, num_classes: usize, seed: u64) -> Self {
+        let features = randn(num_vertices, feat_dim, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let labels = (0..num_vertices).map(|_| rng.gen_range(0..num_classes) as u32).collect();
+        Self { features, labels, num_classes }
+    }
+
+    /// Features correlated with planted community labels: class `c` gets a
+    /// distinct random mean vector, vertices get `mean[label] + noise`.
+    /// This is what makes the convergence tests meaningful — the signal is
+    /// recoverable, like the community structure in ogbn-products.
+    pub fn from_labels(labels: &[u32], num_classes: usize, feat_dim: usize, signal: f32, seed: u64) -> Self {
+        let means = randn(num_classes, feat_dim, seed);
+        let noise = randn(labels.len(), feat_dim, seed ^ 0xabcd_ef01);
+        let mut features = noise;
+        features
+            .as_mut_slice()
+            .par_chunks_mut(feat_dim)
+            .zip(labels.par_iter())
+            .for_each(|(row, &label)| {
+                let mean = means.row(label as usize);
+                for (v, m) in row.iter_mut().zip(mean) {
+                    *v += signal * *m;
+                }
+            });
+        Self { features, labels: labels.to_vec(), num_classes }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Feature dimension `f0`.
+    pub fn feat_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Size of the feature matrix in bytes (CPU-memory footprint).
+    pub fn nbytes(&self) -> usize {
+        self.features.nbytes() + self.labels.len() * 4
+    }
+}
+
+/// Train/validation/test vertex splits.
+#[derive(Clone, Debug)]
+pub struct Splits {
+    /// Training vertex ids.
+    pub train: Vec<u32>,
+    /// Validation vertex ids.
+    pub val: Vec<u32>,
+    /// Test vertex ids.
+    pub test: Vec<u32>,
+}
+
+impl Splits {
+    /// Deterministic shuffled split by fractions (must sum to ≤ 1).
+    ///
+    /// # Panics
+    /// If fractions are negative or sum above 1.
+    pub fn random(num_vertices: usize, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+        let mut ids: Vec<u32> = (0..num_vertices as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Fisher-Yates
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        let n_train = (num_vertices as f64 * train_frac).round() as usize;
+        let n_val = (num_vertices as f64 * val_frac).round() as usize;
+        let train = ids[..n_train].to_vec();
+        let val = ids[n_train..(n_train + n_val).min(ids.len())].to_vec();
+        let test = ids[(n_train + n_val).min(ids.len())..].to_vec();
+        Self { train, val, test }
+    }
+}
+
+/// Parallel feature gather: `X' = X[indices, :]` using Rayon over output
+/// rows. This is the *Feature Loading* stage kernel (paper Fig. 4 stage 2);
+/// its measured byte volume drives Eq. 7 of the performance model.
+pub fn gather_features(x: &Matrix, indices: &[u32]) -> Matrix {
+    let dim = x.cols();
+    let mut out = Matrix::zeros(indices.len(), dim);
+    out.as_mut_slice()
+        .par_chunks_mut(dim)
+        .zip(indices.par_iter())
+        .for_each(|(dst, &src)| {
+            dst.copy_from_slice(x.row(src as usize));
+        });
+    out
+}
+
+/// Sanity check: every vertex with at least one edge has a feature row.
+pub fn check_coverage(graph: &CsrGraph, data: &VertexData) -> bool {
+    graph.num_vertices() == data.num_vertices()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_data_shapes() {
+        let d = VertexData::random(50, 16, 4, 1);
+        assert_eq!(d.num_vertices(), 50);
+        assert_eq!(d.feat_dim(), 16);
+        assert!(d.labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn from_labels_is_separable() {
+        let labels: Vec<u32> = (0..100).map(|i| (i % 2) as u32).collect();
+        let d = VertexData::from_labels(&labels, 2, 8, 3.0, 7);
+        // class means should differ: compare centroid distance to noise scale
+        let mut c0 = vec![0.0f32; 8];
+        let mut c1 = vec![0.0f32; 8];
+        for v in 0..100 {
+            let row = d.features.row(v);
+            let c = if labels[v] == 0 { &mut c0 } else { &mut c1 };
+            for (acc, x) in c.iter_mut().zip(row) {
+                *acc += x / 50.0;
+            }
+        }
+        let dist: f32 = c0.iter().zip(&c1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        assert!(dist > 1.0, "class centroids too close: {dist}");
+    }
+
+    #[test]
+    fn splits_partition_vertices() {
+        let s = Splits::random(100, 0.6, 0.2, 3);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<u32> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn splits_deterministic() {
+        let a = Splits::random(50, 0.5, 0.25, 9);
+        let b = Splits::random(50, 0.5, 0.25, 9);
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    fn gather_matches_serial() {
+        let x = randn(40, 6, 2);
+        let idx = vec![5, 0, 39, 5];
+        let g = gather_features(&x, &idx);
+        let serial = x.gather_rows(&idx);
+        assert_eq!(g.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn coverage_check() {
+        let g = CsrGraph::empty(10);
+        let d = VertexData::random(10, 4, 2, 0);
+        assert!(check_coverage(&g, &d));
+        let d2 = VertexData::random(9, 4, 2, 0);
+        assert!(!check_coverage(&g, &d2));
+    }
+}

@@ -1,0 +1,247 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper's datasets are proprietary-scale downloads; the reproduction
+//! synthesizes graphs with matching average degree and a heavy-tailed
+//! degree distribution (web/citation graphs are power-law). All
+//! generators are deterministic in their seed.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT generator (Chakrabarti et al.) — recursive quadrant sampling
+/// yields a power-law-ish degree distribution; this is the standard
+/// Graph500 generator for scale-free graph benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average directed degree (edges = `avg_degree << scale`).
+    pub avg_degree: usize,
+    /// Quadrant probabilities; must sum to ~1.0. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub probs: (f64, f64, f64, f64),
+    /// Remove duplicate edges and self-loops.
+    pub clean: bool,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        Self { scale: 10, avg_degree: 16, probs: (0.57, 0.19, 0.19, 0.05), clean: true }
+    }
+}
+
+/// Generate an R-MAT graph.
+///
+/// # Panics
+/// If the quadrant probabilities do not sum to ≈ 1.
+pub fn rmat(config: RmatConfig, seed: u64) -> CsrGraph {
+    let (a, b, c, d) = config.probs;
+    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "R-MAT probabilities must sum to 1");
+    let n = 1usize << config.scale;
+    let m = n * config.avg_degree;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m)
+        .dedup(config.clean)
+        .drop_self_loops(config.clean);
+    for _ in 0..m {
+        let (mut lo_s, mut hi_s) = (0usize, n);
+        let (mut lo_t, mut hi_t) = (0usize, n);
+        while hi_s - lo_s > 1 {
+            let r: f64 = rng.gen();
+            let (down, right) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (false, true)
+            } else if r < a + b + c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_s = (lo_s + hi_s) / 2;
+            let mid_t = (lo_t + hi_t) / 2;
+            if down {
+                lo_s = mid_s;
+            } else {
+                hi_s = mid_s;
+            }
+            if right {
+                lo_t = mid_t;
+            } else {
+                hi_t = mid_t;
+            }
+        }
+        builder.add_edge(lo_s as VertexId, lo_t as VertexId);
+    }
+    builder.build().expect("R-MAT edges are in range by construction")
+}
+
+/// Preferential-attachment (Barabási–Albert style) generator: each new
+/// vertex attaches `m` edges to existing vertices chosen proportionally
+/// to degree (implemented with the repeated-endpoint trick).
+pub fn preferential_attachment(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> CsrGraph {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let m = edges_per_vertex.max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // endpoint pool: every time a vertex gains an edge it is pushed again,
+    // so sampling uniformly from the pool is degree-proportional.
+    let mut pool: Vec<VertexId> = vec![0, 1];
+    let mut builder = GraphBuilder::with_capacity(num_vertices, num_vertices * m)
+        .dedup(true)
+        .drop_self_loops(true);
+    builder.add_edge(0, 1);
+    for v in 2..num_vertices as VertexId {
+        for _ in 0..m.min(v as usize) {
+            let t = pool[rng.gen_range(0..pool.len())];
+            builder.add_edge(v, t);
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    builder.build().expect("PA edges are in range by construction")
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` uniform random directed edges.
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(num_vertices, num_edges);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..num_vertices) as VertexId;
+        let t = rng.gen_range(0..num_vertices) as VertexId;
+        builder.add_edge(s, t);
+    }
+    builder.build().expect("ER edges are in range by construction")
+}
+
+/// Stochastic block model with `k` equal-size communities.
+///
+/// Intra-community edges are `p_in`-times likelier than inter-community
+/// ones; vertex `v`'s planted community is `v % k`. Community ids serve as
+/// *learnable labels* for convergence tests: a GNN that aggregates
+/// neighbours can recover the community structure.
+#[derive(Debug, Clone, Copy)]
+pub struct SbmConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Average directed degree.
+    pub avg_degree: usize,
+    /// Probability that an edge stays inside its community.
+    pub p_intra: f64,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        Self { num_vertices: 1000, communities: 8, avg_degree: 16, p_intra: 0.85 }
+    }
+}
+
+/// Generate an SBM graph; returns the graph and the planted community
+/// label of every vertex.
+pub fn sbm(config: SbmConfig, seed: u64) -> (CsrGraph, Vec<u32>) {
+    let SbmConfig { num_vertices: n, communities: k, avg_degree, p_intra } = config;
+    assert!(k >= 1 && n >= k, "need at least one vertex per community");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
+    // members[c] lists vertices of community c.
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for v in 0..n {
+        members[v % k].push(v as VertexId);
+    }
+    let m = n * avg_degree;
+    let mut builder = GraphBuilder::with_capacity(n, m).dedup(true).drop_self_loops(true);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let c = s % k;
+        let t = if rng.gen_bool(p_intra) {
+            members[c][rng.gen_range(0..members[c].len())]
+        } else {
+            let other = rng.gen_range(0..k);
+            members[other][rng.gen_range(0..members[other].len())]
+        };
+        builder.add_edge(s as VertexId, t);
+    }
+    (builder.build().expect("SBM edges in range"), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let cfg = RmatConfig { scale: 8, avg_degree: 8, ..Default::default() };
+        let g1 = rmat(cfg, 1);
+        let g2 = rmat(cfg, 1);
+        let g3 = rmat(cfg, 2);
+        assert_eq!(g1.num_vertices(), 256);
+        assert!(g1.num_edges() > 0);
+        assert_eq!(g1.targets(), g2.targets());
+        assert_ne!(g1.targets(), g3.targets());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let cfg = RmatConfig { scale: 10, avg_degree: 16, clean: false, ..Default::default() };
+        let g = rmat(cfg, 7);
+        // power-law-ish: max degree far above average
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probs() {
+        let cfg = RmatConfig { probs: (0.5, 0.1, 0.1, 0.1), ..Default::default() };
+        let _ = rmat(cfg, 0);
+    }
+
+    #[test]
+    fn pa_grows_hubs() {
+        let g = preferential_attachment(2000, 4, 3);
+        assert_eq!(g.num_vertices(), 2000);
+        assert!(g.num_edges() > 0);
+        let und = g.symmetrize();
+        assert!(und.max_degree() > 30, "expected hubs, max degree {}", und.max_degree());
+    }
+
+    #[test]
+    fn er_edge_count_close() {
+        let g = erdos_renyi(500, 4000, 11);
+        // duplicates possible but rare at this density
+        assert!(g.num_edges() >= 3900);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn sbm_labels_match_communities() {
+        let (g, labels) = sbm(SbmConfig { num_vertices: 400, communities: 4, ..Default::default() }, 5);
+        assert_eq!(labels.len(), 400);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[5], 1);
+        // homophily: most edges stay within community
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (s, t) in g.edges_by_source() {
+            total += 1;
+            if labels[s as usize] == labels[t as usize] {
+                intra += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            intra as f64 / total as f64 > 0.6,
+            "expected homophily, got {intra}/{total}"
+        );
+    }
+
+    #[test]
+    fn sbm_deterministic() {
+        let cfg = SbmConfig::default();
+        let (g1, _) = sbm(cfg, 9);
+        let (g2, _) = sbm(cfg, 9);
+        assert_eq!(g1.targets(), g2.targets());
+    }
+}

@@ -1,0 +1,219 @@
+//! Graph and feature persistence.
+//!
+//! Simple, dependency-free formats so synthesized datasets can be saved
+//! once and reloaded across experiment runs:
+//!
+//! * **edge-list text** (`src<TAB>dst` per line, `#` comments) — the
+//!   interchange format of SNAP/OGB dumps;
+//! * **binary CSR** (little-endian `u64` header + arrays) — fast reload;
+//! * **binary f32 matrix** for features.
+
+use crate::csr::CsrGraph;
+use crate::types::{GraphError, VertexId};
+use hyscale_tensor::Matrix;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const CSR_MAGIC: u64 = 0x4853_4352_0001; // "HSCR" v1
+const MAT_MAGIC: u64 = 0x4853_4d41_0001; // "HSMA" v1
+
+/// Write a graph as `src\tdst` lines.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# hyscale edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (s, t) in graph.edges_by_source() {
+        writeln!(w, "{s}\t{t}")?;
+    }
+    Ok(())
+}
+
+/// Parse an edge-list text stream. Lines starting with `#` are skipped;
+/// fields may be separated by tabs or spaces. The vertex count is
+/// `max_id + 1` unless `num_vertices` is given.
+pub fn read_edge_list<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let s = parse(parts.next())?;
+        let t = parse(parts.next())?;
+        max_id = max_id.max(s).max(t);
+        edges.push((s as VertexId, t as VertexId));
+    }
+    let n = num_vertices.unwrap_or((max_id + 1) as usize);
+    CsrGraph::from_edges(n, &edges).map_err(graph_err)
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed edge at line {}", lineno + 1))
+}
+
+fn graph_err(e: GraphError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Write a graph in the binary CSR format.
+pub fn write_csr_binary<W: Write>(graph: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&CSR_MAGIC.to_le_bytes())?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&graph.num_edges().to_le_bytes())?;
+    for &o in graph.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in graph.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a graph from the binary CSR format.
+pub fn read_csr_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(r);
+    let magic = read_u64(&mut r)?;
+    if magic != CSR_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale CSR file"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        targets.push(VertexId::from_le_bytes(buf4));
+    }
+    CsrGraph::from_raw(offsets, targets).map_err(graph_err)
+}
+
+/// Write a feature matrix in the binary format.
+pub fn write_matrix<W: Write>(m: &Matrix, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&MAT_MAGIC.to_le_bytes())?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for &v in m.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a feature matrix from the binary format.
+pub fn read_matrix<R: Read>(r: R) -> io::Result<Matrix> {
+    let mut r = BufReader::new(r);
+    let magic = read_u64(&mut r)?;
+    if magic != MAT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale matrix file"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut buf = [0u8; 4];
+    for _ in 0..rows * cols {
+        r.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Convenience: save a graph to a path in binary CSR.
+pub fn save_graph(graph: &CsrGraph, path: &Path) -> io::Result<()> {
+    write_csr_binary(graph, std::fs::File::create(path)?)
+}
+
+/// Convenience: load a graph from a binary CSR path.
+pub fn load_graph(path: &Path) -> io::Result<CsrGraph> {
+    read_csr_binary(std::fs::File::open(path)?)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{rmat, RmatConfig};
+    use hyscale_tensor::init::randn;
+
+    fn graph() -> CsrGraph {
+        rmat(RmatConfig { scale: 7, avg_degree: 6, ..Default::default() }, 3)
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(g.num_vertices())).unwrap();
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.targets(), g2.targets());
+    }
+
+    #[test]
+    fn edge_list_infers_vertex_count() {
+        let text = b"# comment\n0 3\n2 1\n";
+        let g = read_edge_list(&text[..], None).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let text = b"0\tx\n";
+        assert!(read_edge_list(&text[..], None).is_err());
+    }
+
+    #[test]
+    fn csr_binary_roundtrip() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        let g2 = read_csr_binary(&buf[..]).unwrap();
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.targets(), g2.targets());
+    }
+
+    #[test]
+    fn csr_binary_rejects_wrong_magic() {
+        let buf = vec![0u8; 64];
+        assert!(read_csr_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = randn(17, 9, 4);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let m2 = read_matrix(&buf[..]).unwrap();
+        assert_eq!(m.as_slice(), m2.as_slice());
+        assert_eq!(m.shape(), m2.shape());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hyscale_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let g = graph();
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g.targets(), g2.targets());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! Vertex relabeling for locality.
+//!
+//! Degree-descending reordering places hub vertices at low ids — the
+//! layout PaGraph-style caches and the FPGA feature duplicator benefit
+//! from (hot rows cluster at the front of the feature matrix). Provides
+//! the permutation plus graph/feature application.
+
+use crate::csr::CsrGraph;
+use crate::degree::vertices_by_degree_desc;
+use crate::types::VertexId;
+use hyscale_tensor::Matrix;
+
+/// A vertex relabeling: `perm[old] = new`.
+#[derive(Clone, Debug)]
+pub struct Relabeling {
+    /// New id of each old vertex.
+    pub perm: Vec<VertexId>,
+    /// Old id of each new vertex (inverse permutation).
+    pub inv: Vec<VertexId>,
+}
+
+impl Relabeling {
+    /// Identity relabeling over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<VertexId> = (0..n as VertexId).collect();
+        Self { inv: perm.clone(), perm }
+    }
+
+    /// Degree-descending relabeling: the highest-out-degree vertex
+    /// becomes id 0.
+    pub fn by_degree_desc(graph: &CsrGraph) -> Self {
+        let order = vertices_by_degree_desc(graph); // order[new] = old
+        let mut perm = vec![0 as VertexId; order.len()];
+        for (new_id, &old) in order.iter().enumerate() {
+            perm[old as usize] = new_id as VertexId;
+        }
+        Self { perm, inv: order }
+    }
+
+    /// Apply to a graph: relabel every endpoint.
+    pub fn apply_graph(&self, graph: &CsrGraph) -> CsrGraph {
+        let n = graph.num_vertices();
+        assert_eq!(self.perm.len(), n, "permutation size mismatch");
+        let edges: Vec<(VertexId, VertexId)> = graph
+            .edges_by_source()
+            .into_iter()
+            .map(|(s, t)| (self.perm[s as usize], self.perm[t as usize]))
+            .collect();
+        CsrGraph::from_edges(n, &edges).expect("permutation preserves range")
+    }
+
+    /// Apply to a row-per-vertex matrix (features) or label vector.
+    pub fn apply_rows(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.perm.len(), "row count mismatch");
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for (old, &new) in self.perm.iter().enumerate() {
+            out.row_mut(new as usize).copy_from_slice(x.row(old));
+        }
+        out
+    }
+
+    /// Apply to a per-vertex label vector.
+    pub fn apply_labels(&self, labels: &[u32]) -> Vec<u32> {
+        assert_eq!(labels.len(), self.perm.len());
+        let mut out = vec![0u32; labels.len()];
+        for (old, &new) in self.perm.iter().enumerate() {
+            out[new as usize] = labels[old];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::preferential_attachment;
+    use hyscale_tensor::init::randn;
+
+    #[test]
+    fn identity_is_noop() {
+        let g = preferential_attachment(100, 3, 1);
+        let r = Relabeling::identity(100);
+        let g2 = r.apply_graph(&g);
+        assert_eq!(g.targets(), g2.targets());
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = preferential_attachment(500, 4, 2).symmetrize();
+        let r = Relabeling::by_degree_desc(&g);
+        let g2 = r.apply_graph(&g);
+        // new id 0 has the max degree
+        assert_eq!(g2.out_degree(0), g.max_degree());
+        // degrees non-increasing over new ids
+        let degs: Vec<usize> = (0..g2.num_vertices() as VertexId).map(|v| g2.out_degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let g = preferential_attachment(200, 3, 5);
+        let r = Relabeling::by_degree_desc(&g);
+        let g2 = r.apply_graph(&g);
+        assert_eq!(g.num_edges(), g2.num_edges());
+        // applying the inverse recovers the original edge multiset
+        let inv = Relabeling { perm: r.inv.clone(), inv: r.perm.clone() };
+        let g3 = inv.apply_graph(&g2);
+        let mut a = g.edges_by_source();
+        let mut b = g3.edges_by_source();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_follow_vertices() {
+        let g = preferential_attachment(50, 2, 7);
+        let x = randn(50, 4, 1);
+        let labels: Vec<u32> = (0..50).collect();
+        let r = Relabeling::by_degree_desc(&g);
+        let x2 = r.apply_rows(&x);
+        let l2 = r.apply_labels(&labels);
+        for old in 0..50usize {
+            let new = r.perm[old] as usize;
+            assert_eq!(x.row(old), x2.row(new));
+            assert_eq!(l2[new], old as u32);
+        }
+    }
+
+    #[test]
+    fn perm_inv_consistent() {
+        let g = preferential_attachment(80, 3, 9);
+        let r = Relabeling::by_degree_desc(&g);
+        for old in 0..80usize {
+            assert_eq!(r.inv[r.perm[old] as usize] as usize, old);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Structural graph statistics beyond degree counts.
+//!
+//! Backs the dataset report of the `tab03_datasets` harness and the CLI:
+//! degree percentiles, sampled local clustering coefficient, and a
+//! compact summary struct.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Edge count.
+    pub num_edges: u64,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Out-degree percentiles (p50, p90, p99).
+    pub degree_percentiles: (usize, usize, usize),
+    /// Fraction of vertices with zero out-degree.
+    pub isolated_fraction: f64,
+}
+
+/// Compute the summary (exact; O(V log V)).
+pub fn summarize(graph: &CsrGraph) -> GraphSummary {
+    let n = graph.num_vertices();
+    let mut degrees: Vec<usize> =
+        (0..n as VertexId).map(|v| graph.out_degree(v)).collect();
+    degrees.sort_unstable();
+    let pct = |p: f64| -> usize {
+        if degrees.is_empty() {
+            0
+        } else {
+            degrees[((degrees.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+    GraphSummary {
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        avg_degree: graph.avg_degree(),
+        max_degree: *degrees.last().unwrap_or(&0),
+        degree_percentiles: (pct(0.5), pct(0.9), pct(0.99)),
+        isolated_fraction: if n == 0 { 0.0 } else { isolated as f64 / n as f64 },
+    }
+}
+
+/// Local clustering coefficient of vertex `v`: the fraction of its
+/// neighbour pairs that are themselves connected.
+pub fn local_clustering(graph: &CsrGraph, v: VertexId) -> f64 {
+    let neigh = graph.neighbors(v);
+    let k = neigh.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in neigh.iter().enumerate() {
+        for &b in &neigh[i + 1..] {
+            if a != b && graph.neighbors(a).contains(&b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Mean local clustering coefficient over a seeded vertex sample
+/// (exact computation is O(V·d²); `samples` bounds the cost).
+pub fn sampled_clustering(graph: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let samples = samples.min(n).max(1);
+    for _ in 0..samples {
+        let v = rng.gen_range(0..n) as VertexId;
+        sum += local_clustering(graph, v);
+    }
+    sum / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{erdos_renyi, sbm, SbmConfig};
+
+    #[test]
+    fn summary_of_triangle() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2), (1, 0), (2, 1)]).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.num_vertices, 3);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated_fraction, 0.0);
+        assert_eq!(s.degree_percentiles, (2, 2, 2));
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2), (2, 1), (1, 0), (2, 0)]).unwrap();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        // hub 0 connected to 1..4, leaves unconnected
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0); // degree < 2
+    }
+
+    #[test]
+    fn community_graph_clusters_more_than_random() {
+        let (c, _) = sbm(
+            SbmConfig { num_vertices: 600, communities: 6, avg_degree: 14, p_intra: 0.9 },
+            4,
+        );
+        let c = c.symmetrize();
+        let r = erdos_renyi(600, 600 * 14, 5).symmetrize();
+        let cc = sampled_clustering(&c, 150, 1);
+        let cr = sampled_clustering(&r, 150, 1);
+        assert!(
+            cc > cr * 1.5,
+            "community clustering {cc:.4} should exceed random {cr:.4}"
+        );
+    }
+
+    #[test]
+    fn isolated_fraction_counts() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]).unwrap();
+        let s = summarize(&g);
+        assert!((s.isolated_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = CsrGraph::empty(0);
+        let s = summarize(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(sampled_clustering(&g, 10, 0), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Graph traversal utilities: BFS and connected components.
+//!
+//! Used for dataset sanity (a synthesized training graph should be
+//! mostly one component, or label signal cannot propagate) and by the
+//! examples/CLI for quick structural reports.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use std::collections::VecDeque;
+
+/// Breadth-first distances from `source` (`u32::MAX` = unreachable).
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &t in graph.neighbors(v) {
+            if dist[t as usize] == u32::MAX {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly-connected components (treats edges as undirected). Returns a
+/// component id per vertex and the number of components.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let rev = graph.reverse();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as VertexId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &t in graph.neighbors(v).iter().chain(rev.neighbors(v)) {
+                if comp[t as usize] == u32::MAX {
+                    comp[t as usize] = count;
+                    queue.push_back(t);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Size of the largest weakly-connected component, as a fraction of |V|.
+pub fn largest_component_fraction(graph: &CsrGraph) -> f64 {
+    if graph.num_vertices() == 0 {
+        return 0.0;
+    }
+    let (comp, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    *sizes.iter().max().unwrap() as f64 / graph.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{sbm, SbmConfig};
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        // from the other end, directed edges make everything unreachable
+        let d3 = bfs_distances(&g, 3);
+        assert_eq!(d3[0], u32::MAX);
+        assert_eq!(d3[3], 0);
+    }
+
+    #[test]
+    fn components_on_disjoint_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[5]);
+    }
+
+    #[test]
+    fn weak_connectivity_ignores_direction() {
+        let g = CsrGraph::from_edges(3, &[(1, 0), (1, 2)]).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn synthesized_dataset_is_mostly_connected() {
+        let (g, _) = sbm(
+            SbmConfig { num_vertices: 500, communities: 5, avg_degree: 12, p_intra: 0.8 },
+            1,
+        );
+        let g = g.symmetrize();
+        assert!(
+            largest_component_fraction(&g) > 0.95,
+            "training graph is fragmented"
+        );
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(largest_component_fraction(&g), 0.0);
+        let g1 = CsrGraph::empty(4);
+        let (_, count) = connected_components(&g1);
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Core identifier types and errors.
+
+/// Vertex identifier. `u32` bounds materialized graphs at ~4.3 B vertices,
+/// which covers every dataset in the paper (MAG240M homo: 122 M vertices)
+/// while halving index memory vs `usize` (perf-book "smaller integers").
+pub type VertexId = u32;
+
+/// Edge counts can exceed `u32` (papers100M: 1.6 B edges), so use `u64`.
+pub type EdgeCount = u64;
+
+/// Errors raised by graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// CSR offsets are not monotonically non-decreasing.
+    NonMonotonicOffsets {
+        /// Index at which monotonicity is violated.
+        at: usize,
+    },
+    /// Offset array length must be `num_vertices + 1`.
+    BadOffsetLength {
+        /// Actual length found.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (|V| = {num_vertices})")
+            }
+            GraphError::NonMonotonicOffsets { at } => {
+                write!(f, "CSR offsets decrease at index {at}")
+            }
+            GraphError::BadOffsetLength { got, expected } => {
+                write!(f, "CSR offset array length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Epoch-level seed scheduling with per-trainer quotas.
+//!
+//! Each training iteration draws `n` mini-batches, one per GNN Trainer
+//! (paper §III-B step 1). The DRM engine re-balances *how many seeds each
+//! trainer gets* while keeping the total per-iteration seed count constant
+//! (paper §IV-A: "The total mini-batch size executed on the hybrid system
+//! remains the same after the re-assignment"), which this scheduler
+//! enforces structurally.
+
+use hyscale_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shuffled epoch iterator over training seeds, sliced per trainer.
+#[derive(Clone, Debug)]
+pub struct EpochBatcher {
+    train_ids: Vec<VertexId>,
+    seed: u64,
+}
+
+impl EpochBatcher {
+    /// Batcher over the labelled training vertices.
+    pub fn new(train_ids: Vec<VertexId>, seed: u64) -> Self {
+        assert!(!train_ids.is_empty(), "no training vertices");
+        Self { train_ids, seed }
+    }
+
+    /// Number of training seeds per epoch.
+    pub fn num_seeds(&self) -> usize {
+        self.train_ids.len()
+    }
+
+    /// Number of iterations per epoch at a total per-iteration quota.
+    pub fn iterations(&self, total_batch: usize) -> usize {
+        self.train_ids.len().div_ceil(total_batch.max(1))
+    }
+
+    /// Deterministic shuffle of the seeds for `epoch`.
+    pub fn epoch_order(&self, epoch: u64) -> Vec<VertexId> {
+        let mut ids = self.train_ids.clone();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0xD1B54A32D192ED03));
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        ids
+    }
+
+    /// Slice iteration `iter` of `epoch` into per-trainer seed sets
+    /// according to `quotas` (seeds per trainer). Returns one (possibly
+    /// empty) `Vec` per trainer; the final iteration of an epoch may run
+    /// short. Total consumed per iteration = `quotas.sum()`.
+    pub fn iteration_seeds(
+        &self,
+        epoch_order: &[VertexId],
+        iter: usize,
+        quotas: &[usize],
+    ) -> Vec<Vec<VertexId>> {
+        let total: usize = quotas.iter().sum();
+        let start = iter * total;
+        let mut out = Vec::with_capacity(quotas.len());
+        let mut cursor = start;
+        for &q in quotas {
+            let end = (cursor + q).min(epoch_order.len());
+            let begin = cursor.min(epoch_order.len());
+            out.push(epoch_order[begin..end].to_vec());
+            cursor += q;
+        }
+        out
+    }
+}
+
+/// Integer split of `total` seeds into `n` quotas proportional to
+/// `weights`, guaranteed to sum to exactly `total` (largest-remainder
+/// method). This is how `balance_work` converts a continuous split into
+/// whole mini-batch sizes.
+pub fn proportional_quotas(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty());
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "weights must be positive");
+    let raw: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut quotas: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
+    let mut assigned: usize = quotas.iter().sum();
+    // distribute the remainder by largest fractional part, stable order
+    let mut frac: Vec<(usize, f64)> =
+        raw.iter().enumerate().map(|(i, r)| (i, r - r.floor())).collect();
+    frac.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut k = 0;
+    while assigned < total {
+        quotas[frac[k % frac.len()].0] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    quotas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher() -> EpochBatcher {
+        EpochBatcher::new((0..100).collect(), 42)
+    }
+
+    #[test]
+    fn epoch_order_is_permutation() {
+        let b = batcher();
+        let mut o = b.epoch_order(3);
+        o.sort_unstable();
+        assert_eq!(o, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epoch_orders_differ_across_epochs() {
+        let b = batcher();
+        assert_ne!(b.epoch_order(0), b.epoch_order(1));
+        assert_eq!(b.epoch_order(2), b.epoch_order(2));
+    }
+
+    #[test]
+    fn iteration_seeds_respect_quotas() {
+        let b = batcher();
+        let order = b.epoch_order(0);
+        let sets = b.iteration_seeds(&order, 0, &[30, 10]);
+        assert_eq!(sets[0].len(), 30);
+        assert_eq!(sets[1].len(), 10);
+        let sets2 = b.iteration_seeds(&order, 1, &[30, 10]);
+        assert_eq!(sets2[0].len(), 30);
+        // no overlap between iterations
+        assert!(sets[0].iter().all(|v| !sets2[0].contains(v)));
+    }
+
+    #[test]
+    fn final_iteration_runs_short() {
+        let b = batcher();
+        let order = b.epoch_order(0);
+        // 100 seeds, 40/iter => iteration 2 gets 20
+        let sets = b.iteration_seeds(&order, 2, &[25, 15]);
+        assert_eq!(sets[0].len() + sets[1].len(), 20);
+    }
+
+    #[test]
+    fn iterations_count() {
+        let b = batcher();
+        assert_eq!(b.iterations(40), 3);
+        assert_eq!(b.iterations(100), 1);
+        assert_eq!(b.iterations(101), 1);
+    }
+
+    #[test]
+    fn quotas_sum_exactly() {
+        for total in [1usize, 7, 100, 1024] {
+            for w in [[1.0, 1.0, 1.0].as_slice(), &[0.3, 0.7], &[5.0], &[1e-3, 1.0, 2.5]] {
+                let q = proportional_quotas(total, w);
+                assert_eq!(q.iter().sum::<usize>(), total, "total {total} weights {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotas_follow_weights() {
+        let q = proportional_quotas(100, &[3.0, 1.0]);
+        assert_eq!(q, vec![75, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training vertices")]
+    fn rejects_empty_train_set() {
+        let _ = EpochBatcher::new(vec![], 0);
+    }
+}

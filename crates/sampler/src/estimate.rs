@@ -1,0 +1,123 @@
+//! Closed-form expected mini-batch workload.
+//!
+//! The design-time performance model (paper §V) needs workload numbers
+//! before any batch is sampled. For fanout sampling over a graph with
+//! average degree `d̄` and `|V| = n`, each hop multiplies the frontier by
+//! `min(fanout, d̄)` and dedup collapses repeated draws: the expected
+//! number of distinct vertices after `k` uniform draws from `n` is
+//! `n · (1 − (1 − 1/n)^k)` (birthday-paradox correction).
+
+use crate::minibatch::WorkloadStats;
+
+/// Expected distinct count after `draws` uniform samples from a
+/// population of `n`.
+pub fn expected_distinct(n: f64, draws: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    n * (1.0 - (1.0 - 1.0 / n).powf(draws))
+}
+
+/// Expected per-batch workload for fanout neighbor sampling.
+///
+/// * `num_vertices`, `avg_degree` — graph statistics.
+/// * `batch_size` — seed count `|V^L|`.
+/// * `fanouts` — per-hop fanouts, seed-side first (paper order `(25, 10)`).
+///
+/// Returns layer counts in the same input→output order as
+/// [`crate::minibatch::MiniBatch::stats`].
+pub fn expected_workload(
+    num_vertices: u64,
+    avg_degree: f64,
+    batch_size: usize,
+    fanouts: &[usize],
+) -> WorkloadStats {
+    let n = num_vertices as f64;
+    let mut frontier = batch_size as f64; // |V^L|
+    // walk seed-side -> input-side, recording per-layer dst/edge counts
+    let mut nodes_rev: Vec<usize> = Vec::with_capacity(fanouts.len());
+    let mut edges_rev: Vec<usize> = Vec::with_capacity(fanouts.len());
+    for &fanout in fanouts {
+        let eff_fanout = (fanout as f64).min(avg_degree);
+        let edges = frontier * eff_fanout;
+        nodes_rev.push(frontier.round() as usize);
+        edges_rev.push(edges.round() as usize);
+        // new frontier: dst set plus distinct sampled neighbours
+        let distinct_new = expected_distinct(n, edges);
+        frontier = (frontier + distinct_new).min(n);
+    }
+    let input_nodes = frontier.round() as usize;
+    nodes_rev.reverse();
+    edges_rev.reverse();
+    WorkloadStats {
+        batch_size,
+        input_nodes,
+        nodes_per_layer: nodes_rev,
+        edges_per_layer: edges_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborSampler;
+    use hyscale_graph::generator::{sbm, SbmConfig};
+    use hyscale_graph::VertexId;
+
+    #[test]
+    fn distinct_bounds() {
+        assert!(expected_distinct(100.0, 0.0) < 1e-9);
+        assert!((expected_distinct(100.0, 1.0) - 1.0).abs() < 1e-9);
+        // draws >> n saturates at n
+        assert!((expected_distinct(50.0, 1e6) - 50.0).abs() < 1e-6);
+        // monotone
+        assert!(expected_distinct(1000.0, 100.0) < expected_distinct(1000.0, 200.0));
+    }
+
+    #[test]
+    fn workload_layer_ordering() {
+        let w = expected_workload(1_000_000, 20.0, 1024, &[25, 10]);
+        // input->output: nodes_per_layer[1] is the seed-side dst = 1024
+        assert_eq!(w.nodes_per_layer[1], 1024);
+        // seed-side edges = 1024 * min(25, 20)
+        assert_eq!(w.edges_per_layer[1], 1024 * 20);
+        // inner layer is larger
+        assert!(w.nodes_per_layer[0] > w.nodes_per_layer[1]);
+        assert!(w.edges_per_layer[0] > w.edges_per_layer[1]);
+        assert!(w.input_nodes >= w.nodes_per_layer[0]);
+    }
+
+    #[test]
+    fn estimate_tracks_measured_workload() {
+        // Estimate should be within ~35% of a real sampled batch on a
+        // uniformish graph (it ignores degree skew, so allow slack).
+        let (g, _) = sbm(
+            SbmConfig { num_vertices: 4000, communities: 8, avg_degree: 16, p_intra: 0.8 },
+            3,
+        );
+        let g = g.symmetrize();
+        let sampler = NeighborSampler::new(vec![10, 5], 1);
+        let seeds: Vec<VertexId> = (0..256).collect();
+        let measured = sampler.sample(&g, &seeds, 0).stats();
+        let est = expected_workload(g.num_vertices() as u64, g.avg_degree(), 256, &[10, 5]);
+        let rel = |a: usize, b: usize| (a as f64 - b as f64).abs() / b.max(1) as f64;
+        assert!(
+            rel(est.input_nodes, measured.input_nodes) < 0.35,
+            "estimated |V0| {} vs measured {}",
+            est.input_nodes,
+            measured.input_nodes
+        );
+        assert!(
+            rel(est.total_edges() as usize, measured.total_edges() as usize) < 0.35,
+            "estimated |E| {} vs measured {}",
+            est.total_edges(),
+            measured.total_edges()
+        );
+    }
+
+    #[test]
+    fn saturates_on_tiny_graph() {
+        let w = expected_workload(100, 50.0, 64, &[25, 25]);
+        assert!(w.input_nodes <= 100);
+    }
+}

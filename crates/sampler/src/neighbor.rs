@@ -1,0 +1,272 @@
+//! GraphSAGE neighbor sampling (paper [2], used in §VI-A2).
+//!
+//! For each seed batch, sample `fanouts[0]` neighbours of every seed, then
+//! `fanouts[1]` neighbours of every layer-1 vertex, etc. Destination
+//! vertices are kept as a prefix of the source set so the update stage can
+//! read self-features. Sampling is without replacement: a vertex with
+//! degree ≤ fanout keeps all its neighbours (PyG `NeighborLoader`
+//! semantics).
+
+use crate::minibatch::{Block, MiniBatch};
+use hyscale_graph::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Fanout-based layered neighbor sampler.
+#[derive(Clone, Debug)]
+pub struct NeighborSampler {
+    /// Per-hop fanouts, seed-side first (paper: `(25, 10)`).
+    fanouts: Vec<usize>,
+    /// Base RNG seed; each `(epoch, iteration, trainer)` derives a unique
+    /// stream from it.
+    seed: u64,
+}
+
+impl NeighborSampler {
+    /// Sampler with the given per-hop fanouts (seed-side hop first).
+    ///
+    /// # Panics
+    /// If `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>, seed: u64) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        Self { fanouts, seed }
+    }
+
+    /// The paper's evaluation configuration: fanouts (25, 10).
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(vec![25, 10], seed)
+    }
+
+    /// Number of GNN layers this sampler produces blocks for.
+    pub fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// The configured fanouts.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Sample one mini-batch for `seeds`, deterministically derived from
+    /// `(self.seed, stream)`. `stream` should encode epoch/iteration/
+    /// trainer so parallel trainers draw independent batches.
+    pub fn sample(&self, graph: &CsrGraph, seeds: &[VertexId], stream: u64) -> MiniBatch {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
+        let mut layer_nodes: Vec<VertexId> = seeds.to_vec();
+
+        for &fanout in &self.fanouts {
+            // src set starts as a copy of dst (prefix property), then
+            // grows with newly discovered neighbours.
+            let mut src_nodes: Vec<VertexId> = layer_nodes.clone();
+            let mut local: HashMap<VertexId, u32> =
+                HashMap::with_capacity(layer_nodes.len() * (fanout + 1));
+            for (i, &v) in layer_nodes.iter().enumerate() {
+                local.insert(v, i as u32);
+            }
+            let mut edge_src: Vec<u32> = Vec::with_capacity(layer_nodes.len() * fanout);
+            let mut edge_dst: Vec<u32> = Vec::with_capacity(layer_nodes.len() * fanout);
+
+            let mut scratch: Vec<VertexId> = Vec::with_capacity(fanout);
+            for (di, &v) in layer_nodes.iter().enumerate() {
+                let neigh = graph.neighbors(v);
+                sample_without_replacement(neigh, fanout, &mut rng, &mut scratch);
+                for &u in &scratch {
+                    let next = src_nodes.len() as u32;
+                    let si = *local.entry(u).or_insert_with(|| {
+                        src_nodes.push(u);
+                        next
+                    });
+                    edge_src.push(si);
+                    edge_dst.push(di as u32);
+                }
+            }
+
+            blocks_rev.push(Block {
+                num_src: src_nodes.len(),
+                num_dst: layer_nodes.len(),
+                edge_src,
+                edge_dst,
+            });
+            layer_nodes = src_nodes;
+        }
+
+        blocks_rev.reverse();
+        MiniBatch { input_nodes: layer_nodes, seeds: seeds.to_vec(), blocks: blocks_rev }
+    }
+
+    /// Sample `plans.len()` mini-batches in parallel (one per trainer),
+    /// with `plans[i]` seeds each, all drawn from disjoint RNG streams.
+    /// This is the per-iteration "n mini-batches are produced" step of
+    /// paper §III-B(1).
+    pub fn sample_many(
+        &self,
+        graph: &CsrGraph,
+        seed_sets: &[&[VertexId]],
+        base_stream: u64,
+    ) -> Vec<MiniBatch> {
+        seed_sets
+            .par_iter()
+            .enumerate()
+            .map(|(i, seeds)| self.sample(graph, seeds, base_stream.wrapping_add(i as u64 + 1)))
+            .collect()
+    }
+}
+
+/// Reservoir-free sampling without replacement: if `fanout >= n` take all
+/// neighbours (copy), else partial Fisher–Yates over a scratch copy.
+fn sample_without_replacement(
+    neighbors: &[VertexId],
+    fanout: usize,
+    rng: &mut SmallRng,
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let n = neighbors.len();
+    if n <= fanout {
+        out.extend_from_slice(neighbors);
+        return;
+    }
+    // partial Fisher-Yates on indices; n can be large so sample indices
+    // via a small hash set when fanout << n.
+    if fanout * 8 < n {
+        // rejection sampling of distinct indices
+        let mut chosen: Vec<usize> = Vec::with_capacity(fanout);
+        while chosen.len() < fanout {
+            let idx = rng.gen_range(0..n);
+            if !chosen.contains(&idx) {
+                chosen.push(idx);
+            }
+        }
+        out.extend(chosen.into_iter().map(|i| neighbors[i]));
+    } else {
+        let mut scratch: Vec<VertexId> = neighbors.to_vec();
+        for i in 0..fanout {
+            let j = rng.gen_range(i..n);
+            scratch.swap(i, j);
+        }
+        out.extend_from_slice(&scratch[..fanout]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::generator::{sbm, SbmConfig};
+
+    fn test_graph() -> CsrGraph {
+        let (g, _) = sbm(
+            SbmConfig { num_vertices: 500, communities: 5, avg_degree: 12, p_intra: 0.8 },
+            1,
+        );
+        g.symmetrize()
+    }
+
+    #[test]
+    fn sample_structure_valid() {
+        let g = test_graph();
+        let sampler = NeighborSampler::new(vec![5, 3], 7);
+        let seeds: Vec<VertexId> = (0..32).collect();
+        let mb = sampler.sample(&g, &seeds, 0);
+        mb.validate().unwrap();
+        assert_eq!(mb.num_layers(), 2);
+        assert_eq!(mb.seeds, seeds);
+        // seed-side block is last; its dst count equals the seed count
+        assert_eq!(mb.blocks[1].num_dst, 32);
+        // fanout bound per layer
+        assert!(mb.blocks[1].num_edges() <= 32 * 5);
+        assert!(mb.blocks[0].num_edges() <= mb.blocks[0].num_dst * 3);
+    }
+
+    #[test]
+    fn fanout_respected_per_destination() {
+        let g = test_graph();
+        let sampler = NeighborSampler::new(vec![4], 3);
+        let seeds: Vec<VertexId> = (0..16).collect();
+        let mb = sampler.sample(&g, &seeds, 1);
+        for (d, deg) in mb.blocks[0].dst_in_degrees().iter().enumerate() {
+            let full = g.out_degree(seeds[d]);
+            assert!(*deg as usize <= 4.min(full), "dst {d} has {deg} edges");
+        }
+    }
+
+    #[test]
+    fn low_degree_vertices_keep_all_neighbors() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (3, 0)]).unwrap();
+        let sampler = NeighborSampler::new(vec![10], 0);
+        let mb = sampler.sample(&g, &[0], 0);
+        assert_eq!(mb.blocks[0].num_edges(), 2);
+    }
+
+    #[test]
+    fn deterministic_in_stream() {
+        let g = test_graph();
+        let sampler = NeighborSampler::paper_default(9);
+        let seeds: Vec<VertexId> = (0..64).collect();
+        let a = sampler.sample(&g, &seeds, 5);
+        let b = sampler.sample(&g, &seeds, 5);
+        let c = sampler.sample(&g, &seeds, 6);
+        assert_eq!(a.input_nodes, b.input_nodes);
+        assert_eq!(a.blocks[0].edge_src, b.blocks[0].edge_src);
+        assert_ne!(
+            (a.input_nodes.clone(), a.blocks[0].edge_src.clone()),
+            (c.input_nodes.clone(), c.blocks[0].edge_src.clone()),
+            "different streams should differ"
+        );
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        let g = test_graph();
+        let sampler = NeighborSampler::new(vec![6, 4], 2);
+        let seeds: Vec<VertexId> = (10..42).collect();
+        let mb = sampler.sample(&g, &seeds, 3);
+        // blocks[1] dst = seeds; they must be the first entries of
+        // blocks[1] src, which equals blocks[0] dst ids.
+        // By construction src_nodes starts as a copy of layer_nodes.
+        assert!(mb.blocks[0].num_src >= mb.blocks[0].num_dst);
+        assert!(mb.blocks[1].num_src >= mb.blocks[1].num_dst);
+        // input nodes begin with the layer-1 dst set
+        assert_eq!(&mb.input_nodes[..mb.seeds.len()], &mb.seeds[..]);
+    }
+
+    #[test]
+    fn sample_many_gives_independent_batches() {
+        let g = test_graph();
+        let sampler = NeighborSampler::paper_default(11);
+        let s1: Vec<VertexId> = (0..32).collect();
+        let s2: Vec<VertexId> = (32..64).collect();
+        let batches = sampler.sample_many(&g, &[&s1, &s2], 100);
+        assert_eq!(batches.len(), 2);
+        batches[0].validate().unwrap();
+        batches[1].validate().unwrap();
+        assert_eq!(batches[0].seeds, s1);
+        assert_eq!(batches[1].seeds, s2);
+    }
+
+    #[test]
+    fn dedup_shrinks_input_nodes() {
+        // In a dense community graph, two-hop neighbourhoods overlap, so
+        // |V0| must be well below the no-dedup upper bound.
+        let g = test_graph();
+        let sampler = NeighborSampler::new(vec![10, 10], 4);
+        let seeds: Vec<VertexId> = (0..100).collect();
+        let mb = sampler.sample(&g, &seeds, 0);
+        let no_dedup_bound = 100 * 11 * 11;
+        assert!(
+            mb.input_nodes.len() < no_dedup_bound / 2,
+            "dedup ineffective: {} vs bound {}",
+            mb.input_nodes.len(),
+            no_dedup_bound
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fanouts must be positive")]
+    fn rejects_zero_fanout() {
+        let _ = NeighborSampler::new(vec![5, 0], 1);
+    }
+}

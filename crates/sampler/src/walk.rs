@@ -1,0 +1,149 @@
+//! Random-walk subgraph sampling (GraphSAINT-RW, the paper's second cited
+//! sampling algorithm [29]).
+//!
+//! Unlike fanout sampling, SAINT draws a *subgraph*: root vertices start
+//! fixed-length random walks, the union of visited vertices induces the
+//! training subgraph, and a full GCN runs on it. HyScale-GNN's sampling
+//! stage is algorithm-agnostic (paper §V: "the computation pattern varies
+//! in different sampling algorithms"), so this sampler shares the
+//! [`MiniBatch`] output format by emitting identical blocks per layer over
+//! the induced subgraph.
+
+use crate::minibatch::{Block, MiniBatch};
+use hyscale_graph::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// GraphSAINT-style random-walk sampler.
+#[derive(Clone, Debug)]
+pub struct RandomWalkSampler {
+    /// Number of root vertices per batch.
+    pub roots: usize,
+    /// Walk length from each root.
+    pub walk_length: usize,
+    /// Number of GNN layers to emit blocks for.
+    pub layers: usize,
+    seed: u64,
+}
+
+impl RandomWalkSampler {
+    /// New sampler; `layers` controls how many identical induced blocks
+    /// the emitted mini-batch carries.
+    ///
+    /// # Panics
+    /// If any parameter is zero.
+    pub fn new(roots: usize, walk_length: usize, layers: usize, seed: u64) -> Self {
+        assert!(roots > 0 && walk_length > 0 && layers > 0);
+        Self { roots, walk_length, layers, seed }
+    }
+
+    /// Sample the induced subgraph reached by `roots` walks starting at
+    /// `seeds[..roots]` (cycled if fewer seeds are provided).
+    pub fn sample(&self, graph: &CsrGraph, seeds: &[VertexId], stream: u64) -> MiniBatch {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0xA24BAED4963EE407));
+        let mut nodes: Vec<VertexId> = Vec::new();
+        let mut local: HashMap<VertexId, u32> = HashMap::new();
+        let intern = |v: VertexId, nodes: &mut Vec<VertexId>, local: &mut HashMap<VertexId, u32>| -> u32 {
+            let next = nodes.len() as u32;
+            *local.entry(v).or_insert_with(|| {
+                nodes.push(v);
+                next
+            })
+        };
+
+        for r in 0..self.roots {
+            let mut v = seeds[r % seeds.len()];
+            intern(v, &mut nodes, &mut local);
+            for _ in 0..self.walk_length {
+                let neigh = graph.neighbors(v);
+                if neigh.is_empty() {
+                    break;
+                }
+                v = neigh[rng.gen_range(0..neigh.len())];
+                intern(v, &mut nodes, &mut local);
+            }
+        }
+
+        // induced edges among visited vertices
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        for (si, &v) in nodes.iter().enumerate() {
+            for &t in graph.neighbors(v) {
+                if let Some(&ti) = local.get(&t) {
+                    edge_src.push(si as u32);
+                    edge_dst.push(ti);
+                }
+            }
+        }
+
+        let n = nodes.len();
+        let block = Block { num_src: n, num_dst: n, edge_src, edge_dst };
+        let blocks = vec![block; self.layers];
+        MiniBatch { input_nodes: nodes.clone(), seeds: nodes, blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_graph::generator::{sbm, SbmConfig};
+
+    fn g() -> CsrGraph {
+        let (g, _) = sbm(
+            SbmConfig { num_vertices: 300, communities: 3, avg_degree: 10, p_intra: 0.8 },
+            2,
+        );
+        g.symmetrize()
+    }
+
+    #[test]
+    fn walk_produces_valid_minibatch() {
+        let s = RandomWalkSampler::new(8, 4, 2, 1);
+        let mb = s.sample(&g(), &[0, 50, 100], 0);
+        mb.validate().unwrap();
+        assert_eq!(mb.num_layers(), 2);
+        // square blocks: dst == src == subgraph
+        assert_eq!(mb.blocks[0].num_src, mb.blocks[0].num_dst);
+    }
+
+    #[test]
+    fn subgraph_size_bounded_by_walk_budget() {
+        let s = RandomWalkSampler::new(4, 5, 1, 2);
+        let mb = s.sample(&g(), &[0], 0);
+        assert!(mb.input_nodes.len() <= 4 * 6, "visited {}", mb.input_nodes.len());
+        assert!(!mb.input_nodes.is_empty());
+    }
+
+    #[test]
+    fn induced_edges_connect_visited_only() {
+        let graph = g();
+        let s = RandomWalkSampler::new(6, 3, 1, 3);
+        let mb = s.sample(&graph, &[10, 20], 1);
+        let b = &mb.blocks[0];
+        for (&si, &di) in b.edge_src.iter().zip(&b.edge_dst) {
+            let u = mb.input_nodes[si as usize];
+            let v = mb.input_nodes[di as usize];
+            assert!(graph.neighbors(u).contains(&v), "({u},{v}) not a real edge");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let graph = g();
+        let s = RandomWalkSampler::new(5, 4, 1, 7);
+        let a = s.sample(&graph, &[1, 2, 3], 9);
+        let b = s.sample(&graph, &[1, 2, 3], 9);
+        assert_eq!(a.input_nodes, b.input_nodes);
+    }
+
+    #[test]
+    fn isolated_root_is_kept() {
+        let graph = CsrGraph::empty(4);
+        let s = RandomWalkSampler::new(2, 3, 1, 0);
+        let mb = s.sample(&graph, &[2], 0);
+        assert_eq!(mb.input_nodes, vec![2]);
+        assert_eq!(mb.blocks[0].num_edges(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Cache-blocked, Rayon-parallel GEMM kernels.
+//!
+//! The update stage of a GNN layer (paper Eq. 2) is a GEMM against the
+//! weight matrix; its backward pass needs the `Aᵀ·B` and `A·Bᵀ` variants.
+//! Parallelism is over disjoint *output row blocks*, so results are
+//! bitwise independent of the number of worker threads — a property the
+//! workspace's semantics-preservation tests rely on.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Rows per parallel task. Small enough to load-balance mini-batch sized
+/// matrices (a few thousand rows), large enough to amortize task overhead.
+const ROW_BLOCK: usize = 64;
+/// Columns of the shared operand kept hot in L1/L2 per inner tile.
+const K_BLOCK: usize = 256;
+
+/// `C = alpha * op_a(A) · op_b(B) + beta * C` dispatcher.
+///
+/// Convenience wrapper so callers can select the transpose variant at
+/// runtime (the trainers pick variants per backward step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gemm {
+    /// `A · B`
+    NN,
+    /// `Aᵀ · B`
+    TN,
+    /// `A · Bᵀ`
+    NT,
+}
+
+impl Gemm {
+    /// Execute the selected variant: returns `op_a(A) · op_b(B)`.
+    pub fn run(self, a: &Matrix, b: &Matrix) -> Matrix {
+        match self {
+            Gemm::NN => gemm_nn(a, b),
+            Gemm::TN => gemm_tn(a, b),
+            Gemm::NT => gemm_nt(a, b),
+        }
+    }
+}
+
+/// `C = A·B` for row-major `A (m×k)`, `B (k×n)`.
+///
+/// # Panics
+/// On inner-dimension mismatch.
+pub fn gemm_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_nn inner dimension mismatch: {k} vs {kb}");
+    let mut c = Matrix::zeros(m, n);
+    let b_data = b.as_slice();
+
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_block)| {
+            let r0 = blk * ROW_BLOCK;
+            let rows = c_block.len() / n;
+            // Tile over k so the strip of B stays cache-resident.
+            for k0 in (0..k).step_by(K_BLOCK) {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for (ri, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                    let a_row = a.row(r0 + ri);
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += aik * *bv;
+                        }
+                    }
+                }
+            }
+            let _ = rows;
+        });
+    c
+}
+
+/// `C = Aᵀ·B` for row-major `A (k×m)`, `B (k×n)` → `C (m×n)`.
+///
+/// This is the weight-gradient GEMM (`∂L/∂W = aggᵀ · ∂L/∂h`).
+///
+/// # Panics
+/// On inner-dimension mismatch.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_tn inner dimension mismatch: {k} vs {kb}");
+    let mut c = Matrix::zeros(m, n);
+
+    // Parallelize over output rows (columns of A). Each task reads all of
+    // A and B but owns a disjoint slice of C.
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_block)| {
+            let r0 = blk * ROW_BLOCK;
+            for kk in 0..k {
+                let a_row = a.row(kk);
+                let b_row = b.row(kk);
+                for (ri, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                    let aik = a_row[r0 + ri];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * *bv;
+                    }
+                }
+            }
+        });
+    c
+}
+
+/// `C = A·Bᵀ` for row-major `A (m×k)`, `B (n×k)` → `C (m×n)`.
+///
+/// This is the input-gradient GEMM (`∂L/∂agg = ∂L/∂h · Wᵀ`).
+///
+/// # Panics
+/// On inner-dimension mismatch.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "gemm_nt inner dimension mismatch: {k} vs {kb}");
+    let mut c = Matrix::zeros(m, n);
+
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_block)| {
+            let r0 = blk * ROW_BLOCK;
+            for (ri, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                let a_row = a.row(r0 + ri);
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    // dot(a_row, b_row_j)
+                    let b_row = b.row(j);
+                    let mut acc = 0.0f32;
+                    for (av, bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            }
+        });
+    c
+}
+
+/// Number of multiply-accumulate operations in `A(m×k)·B(k×n)`.
+///
+/// The FPGA/GPU update-time models (paper Eq. 12) count MACs.
+pub fn gemm_macs(m: usize, k: usize, n: usize) -> u64 {
+    m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nn(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 17) as f32 * 0.01 + seed).sin()
+        })
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        let a = test_mat(70, 33, 0.1);
+        let b = test_mat(33, 41, 0.2);
+        assert!(gemm_nn(&a, &b).approx_eq(&naive_nn(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn nn_identity() {
+        let a = test_mat(9, 9, 0.4);
+        let eye = Matrix::from_fn(9, 9, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(gemm_nn(&a, &eye).approx_eq(&a, 1e-6));
+        assert!(gemm_nn(&eye, &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn tn_matches_transpose_then_nn() {
+        let a = test_mat(33, 21, 0.3);
+        let b = test_mat(33, 18, 0.4);
+        let expect = naive_nn(&a.transpose(), &b);
+        assert!(gemm_tn(&a, &b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn nt_matches_transpose_then_nn() {
+        let a = test_mat(21, 33, 0.5);
+        let b = test_mat(18, 33, 0.6);
+        let expect = naive_nn(&a, &b.transpose());
+        assert!(gemm_nt(&a, &b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn dispatcher_selects_variants() {
+        let a = test_mat(8, 6, 0.7);
+        let b = test_mat(6, 5, 0.8);
+        assert!(Gemm::NN.run(&a, &b).approx_eq(&gemm_nn(&a, &b), 0.0));
+        let c = test_mat(8, 5, 0.1);
+        assert!(Gemm::TN.run(&a, &c).approx_eq(&gemm_tn(&a, &c), 0.0));
+        let d = test_mat(5, 6, 0.2);
+        let nt = Gemm::NT.run(&b.transpose(), &d);
+        assert!(nt.approx_eq(&gemm_nt(&b.transpose(), &d), 0.0));
+        assert_eq!(nt.shape(), (5, 5));
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let c = gemm_nn(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn nn_rejects_mismatch() {
+        let _ = gemm_nn(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // Row-block ownership means any pool size yields identical bits.
+        let a = test_mat(130, 64, 0.9);
+        let b = test_mat(64, 48, 0.11);
+        let reference = gemm_nn(&a, &b);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let single = pool.install(|| gemm_nn(&a, &b));
+        assert_eq!(reference.as_slice(), single.as_slice());
+    }
+
+    #[test]
+    fn macs_counted() {
+        assert_eq!(gemm_macs(2, 3, 4), 24);
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic weight initialisation.
+//!
+//! Every trainer replica must start from identical weights (synchronous
+//! SGD keeps replicas in lock-step; paper §II-B), so all initialisers are
+//! seeded.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Kaiming/He uniform for ReLU networks: `a = sqrt(6 / fan_in)`.
+    KaimingUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Initializer {
+    /// Materialize a `fan_in × fan_out` matrix with this scheme.
+    pub fn init(self, fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+        match self {
+            Initializer::XavierUniform => xavier_uniform(fan_in, fan_out, seed),
+            Initializer::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                uniform(fan_in, fan_out, bound, seed)
+            }
+            Initializer::Zeros => Matrix::zeros(fan_in, fan_out),
+        }
+    }
+}
+
+/// Glorot/Xavier uniform initialisation of a `fan_in × fan_out` weight
+/// matrix, deterministic in `seed`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(fan_in, fan_out, bound, seed)
+}
+
+fn uniform(rows: usize, cols: usize, bound: f32, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Standard-normal samples via Box–Muller (avoids the `rand_distr`
+/// dependency), deterministic in `seed`. Used for synthetic features.
+pub fn randn(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos());
+        if data.len() < n {
+            data.push(r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let m = xavier_uniform(64, 32, 7);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = xavier_uniform(10, 10, 42);
+        let b = xavier_uniform(10, 10, 42);
+        let c = xavier_uniform(10, 10, 43);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn zeros_initializer() {
+        let m = Initializer::Zeros.init(3, 4, 0);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn kaiming_bound_uses_fan_in() {
+        let m = Initializer::KaimingUniform.init(24, 8, 1);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let m = randn(200, 50, 3);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn randn_odd_count() {
+        // Box-Muller emits pairs; ensure odd lengths are handled.
+        let m = randn(3, 3, 5);
+        assert_eq!(m.len(), 9);
+    }
+}

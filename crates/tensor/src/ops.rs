@@ -1,0 +1,113 @@
+//! Element-wise operations used by the GNN update stage.
+//!
+//! The paper's update stage is `h = φ(a·W + b)` with `φ = ReLU`
+//! (paper Eq. 3–4); backward needs the ReLU mask and the bias-gradient
+//! column reduction.
+
+use crate::matrix::Matrix;
+
+/// In-place ReLU: `x = max(x, 0)`.
+pub fn relu_inplace(x: &mut Matrix) {
+    for v in x.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU backward: zero the gradient wherever the *pre-activation* was
+/// non-positive. `grad` and `pre_activation` must have equal shapes.
+///
+/// # Panics
+/// On shape mismatch.
+pub fn relu_backward_inplace(grad: &mut Matrix, pre_activation: &Matrix) {
+    assert_eq!(grad.shape(), pre_activation.shape(), "relu_backward shape mismatch");
+    for (g, &z) in grad.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+        if z <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Broadcast-add a bias row vector to every row of `x`.
+///
+/// # Panics
+/// If `bias.len() != x.cols()`.
+pub fn add_bias_inplace(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), x.cols(), "bias width mismatch");
+    let cols = x.cols();
+    for row in x.as_mut_slice().chunks_exact_mut(cols) {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += *b;
+        }
+    }
+}
+
+/// Column-sum of `grad` — the bias gradient for a broadcast-added bias.
+pub fn bias_grad(grad: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; grad.cols()];
+    for row in grad.rows_iter() {
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += *v;
+        }
+    }
+    out
+}
+
+/// Row-wise L2 normalisation (`x_i / max(‖x_i‖₂, eps)`), a common output
+/// embedding post-process for SAGE-style models.
+pub fn l2_normalize_rows_inplace(x: &mut Matrix, eps: f32) {
+    let cols = x.cols();
+    for row in x.as_mut_slice().chunks_exact_mut(cols) {
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(eps);
+        for v in row.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        relu_inplace(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_preactivation() {
+        let pre = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, 3.0]);
+        let mut g = Matrix::from_vec(1, 4, vec![5.0, 5.0, 5.0, 5.0]);
+        relu_backward_inplace(&mut g, &pre);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut x = Matrix::zeros(3, 2);
+        add_bias_inplace(&mut x, &[1.0, -2.0]);
+        assert_eq!(x.row(2), &[1.0, -2.0]);
+        let g = bias_grad(&x);
+        assert_eq!(g, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias width mismatch")]
+    fn bias_rejects_wrong_width() {
+        let mut x = Matrix::zeros(1, 3);
+        add_bias_inplace(&mut x, &[0.0; 2]);
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows() {
+        let mut x = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        l2_normalize_rows_inplace(&mut x, 1e-12);
+        assert!((x.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((x.row(0)[1] - 0.8).abs() < 1e-6);
+        // zero row stays finite
+        assert!(x.row(1).iter().all(|v| v.is_finite()));
+    }
+}

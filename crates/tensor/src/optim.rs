@@ -1,0 +1,224 @@
+//! Optimizers for synchronous SGD training.
+//!
+//! Each trainer replica applies the *same averaged gradients* to its local
+//! weight copy (paper §II-B), so the optimizer must be deterministic:
+//! identical state + identical gradients ⇒ identical updates.
+
+use crate::matrix::Matrix;
+
+/// A parameter-update rule over flat parameter/gradient pairs.
+///
+/// Parameters are updated in-place; `step` must be called once per
+/// synchronised iteration with gradients in a fixed order.
+pub trait Optimizer {
+    /// Update `param` given `grad`. `slot` identifies the parameter so
+    /// stateful optimizers (momentum, Adam) can keep per-parameter state;
+    /// callers must use stable, dense slot indices.
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Add L2 weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> &mut Option<Matrix> {
+        if self.velocity.len() <= slot {
+            self.velocity.resize_with(slot + 1, || None);
+        }
+        &mut self.velocity[slot]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "optimizer shape mismatch");
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        if momentum == 0.0 {
+            if wd != 0.0 {
+                let decay = 1.0 - lr * wd;
+                param.scale(decay);
+            }
+            param.axpy(-lr, grad);
+            return;
+        }
+        let v = self.slot_mut(slot);
+        let vel = v.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+        assert_eq!(vel.shape(), grad.shape(), "momentum state shape mismatch");
+        vel.scale(momentum);
+        vel.add_assign(grad);
+        if wd != 0.0 {
+            let decay = 1.0 - lr * wd;
+            param.scale(decay);
+        }
+        param.axpy(-lr, vel);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    state: Vec<Option<(Matrix, Matrix)>>,
+    stepped_slots: usize,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: Vec::new(), stepped_slots: 0 }
+    }
+
+    /// Override the exponential-decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "optimizer shape mismatch");
+        // A new optimization step begins whenever we revisit slot 0 or a
+        // lower slot than the previous call.
+        if slot <= self.stepped_slots {
+            self.t += 1;
+        }
+        self.stepped_slots = slot;
+
+        if self.state.len() <= slot {
+            self.state.resize_with(slot + 1, || None);
+        }
+        let (m, v) = self.state[slot].get_or_insert_with(|| {
+            (Matrix::zeros(grad.rows(), grad.cols()), Matrix::zeros(grad.rows(), grad.cols()))
+        });
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr_t = self.lr * bc2.sqrt() / bc1;
+
+        let (ms, vs, gs, ps) =
+            (m.as_mut_slice(), v.as_mut_slice(), grad.as_slice(), param.as_mut_slice());
+        for i in 0..gs.len() {
+            ms[i] = b1 * ms[i] + (1.0 - b1) * gs[i];
+            vs[i] = b2 * vs[i] + (1.0 - b2) * gs[i] * gs[i];
+            ps[i] -= lr_t * ms[i] / (vs[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Matrix::full(1, 2, 1.0);
+        let g = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(0, &mut p, &g);
+        assert!((p[(0, 0)] - 0.95).abs() < 1e-6);
+        assert!((p[(0, 1)] - 1.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = Matrix::zeros(1, 1);
+        let g = Matrix::full(1, 1, 1.0);
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        opt.step(0, &mut p, &g); // v=1, p=-0.1
+        opt.step(0, &mut p, &g); // v=1.9, p=-0.29
+        assert!((p[(0, 0)] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = Matrix::full(1, 1, 2.0);
+        let g = Matrix::zeros(1, 1);
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        opt.step(0, &mut p, &g);
+        assert!((p[(0, 0)] - 2.0 * 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize f(x) = (x-3)^2 => grad = 2(x-3)
+        let mut x = Matrix::zeros(1, 1);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let g = Matrix::full(1, 1, 2.0 * (x[(0, 0)] - 3.0));
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[(0, 0)] - 3.0).abs() < 0.05, "adam ended at {}", x[(0, 0)]);
+    }
+
+    #[test]
+    fn adam_multiple_slots_keep_separate_state() {
+        let mut a = Matrix::zeros(1, 1);
+        let mut b = Matrix::zeros(2, 2);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..3 {
+            opt.step(0, &mut a, &Matrix::full(1, 1, 1.0));
+            opt.step(1, &mut b, &Matrix::full(2, 2, -1.0));
+        }
+        assert!(a[(0, 0)] < 0.0);
+        assert!(b[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn deterministic_updates() {
+        let run = || {
+            let mut p = Matrix::full(2, 2, 0.3);
+            let mut opt = Sgd::with_momentum(0.05, 0.9);
+            for i in 0..10 {
+                let g = Matrix::full(2, 2, (i as f32 * 0.1).sin());
+                opt.step(0, &mut p, &g);
+            }
+            p
+        };
+        assert_eq!(run().as_slice(), run().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_shape_mismatch() {
+        let mut p = Matrix::zeros(1, 2);
+        let g = Matrix::zeros(2, 1);
+        Sgd::new(0.1).step(0, &mut p, &g);
+    }
+}

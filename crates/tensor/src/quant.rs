@@ -1,0 +1,277 @@
+//! Feature quantization for communication relief.
+//!
+//! The paper's §VIII names data quantization as the planned remedy for
+//! PCIe-bound configurations ("we plan to exploit techniques like data
+//! quantization to relieve the stress on the PCIe bandwidth"). This
+//! module implements that extension: half-precision (IEEE 754 binary16)
+//! and affine int8 row quantization of feature matrices. The functional
+//! path really quantizes and dequantizes (so accuracy effects are
+//! measurable), and the timing layer scales transfer bytes accordingly.
+
+use crate::matrix::Matrix;
+
+/// Transfer precision for mini-batch feature matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full 4-byte floats (the paper's evaluated system).
+    #[default]
+    F32,
+    /// IEEE 754 half precision: 2 bytes/element, ~1e-3 relative error.
+    F16,
+    /// Affine per-row int8: 1 byte/element (+ per-row scale/zero-point).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per element on the wire.
+    pub fn bytes_per_element(self) -> f64 {
+        match self {
+            Precision::F32 => 4.0,
+            Precision::F16 => 2.0,
+            Precision::Int8 => 1.0,
+        }
+    }
+
+    /// Wire size of an `n`-element payload (per-row metadata included
+    /// for int8: one f32 scale + one f32 offset per row).
+    pub fn wire_bytes(self, rows: usize, cols: usize) -> u64 {
+        let payload = (rows * cols) as f64 * self.bytes_per_element();
+        let metadata = match self {
+            Precision::Int8 => rows as u64 * 8,
+            _ => 0,
+        };
+        payload as u64 + metadata
+    }
+
+    /// Simulate a transfer round-trip: quantize + dequantize `x` at this
+    /// precision (identity for F32).
+    pub fn round_trip(self, x: &Matrix) -> Matrix {
+        match self {
+            Precision::F32 => x.clone(),
+            Precision::F16 => {
+                let mut out = x.clone();
+                for v in out.as_mut_slice() {
+                    *v = f16_to_f32(f32_to_f16(*v));
+                }
+                out
+            }
+            Precision::Int8 => {
+                let q = QuantizedMatrix::quantize_int8(x);
+                q.dequantize()
+            }
+        }
+    }
+}
+
+/// Convert f32 to IEEE 754 binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // inf / NaN
+        let nan = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow to inf
+    }
+    if unbiased >= -14 {
+        // normal
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mant >> 13) as u16;
+        // round to nearest even on the truncated bits
+        let round_bits = mant & 0x1fff;
+        let mut out = sign | half_exp | half_mant;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+            out += 1;
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // subnormal half: q = full_mant × 2^(unbiased+1), i.e. a right
+        // shift of -(unbiased+1) ∈ [14, 23]
+        let shift = (-unbiased - 1) as u32;
+        let full_mant = mant | 0x0080_0000;
+        let half_mant = (full_mant >> shift) as u16;
+        let round = 1u32 << (shift - 1);
+        let sticky = full_mant & (round - 1);
+        let mut out_m = half_mant;
+        if (full_mant & round) != 0 && (sticky != 0 || (half_mant & 1) == 1) {
+            out_m += 1;
+        }
+        return sign | out_m;
+    }
+    sign // underflow to zero
+}
+
+/// Convert IEEE 754 binary16 bits to f32.
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits >> 15) << 31;
+    let exp = (bits >> 10) & 0x1f;
+    let mant = u32::from(bits & 0x3ff);
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // subnormal: value = mant × 2⁻²⁴; renormalize around the MSB
+            let k = 31 - mant.leading_zeros();
+            let exp32 = k + 103; // (k - 24) + 127
+            let mant32 = (mant << (23 - k)) & 0x007f_ffff;
+            sign | (exp32 << 23) | mant32
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        // add the f32 bias before removing the f16 bias so the
+        // intermediate never underflows (exp >= 1)
+        let exp32 = u32::from(exp) + 127 - 15;
+        sign | (exp32 << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// An int8-quantized matrix with per-row affine parameters.
+pub struct QuantizedMatrix {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    offsets: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Per-row affine quantization: `q = round((x - offset) / scale)`.
+    pub fn quantize_int8(x: &Matrix) -> Self {
+        let (rows, cols) = x.shape();
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        let mut offsets = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = x.row(r);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if !lo.is_finite() || !hi.is_finite() || lo == hi {
+                lo = if lo.is_finite() { lo } else { 0.0 };
+                hi = lo + 1.0;
+            }
+            let scale = (hi - lo) / 254.0;
+            let offset = lo + 127.0 * scale;
+            scales.push(scale);
+            offsets.push(offset);
+            for &v in row {
+                let q = ((v - offset) / scale).round().clamp(-127.0, 127.0);
+                data.push(q as i8);
+            }
+        }
+        Self { data, scales, offsets, rows, cols }
+    }
+
+    /// Reconstruct the f32 matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let offset = self.offsets[r];
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &q) in out.row_mut(r).iter_mut().zip(src) {
+                *o = f32::from(q) * scale + offset;
+            }
+        }
+        out
+    }
+
+    /// Wire size in bytes (payload + per-row scale/offset).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() + self.rows * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -0.25] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "exact half value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_relative_error() {
+        let x = randn(50, 20, 3);
+        let rt = Precision::F16.round_trip(&x);
+        for (a, b) in x.as_slice().iter().zip(rt.as_slice()) {
+            let rel = (a - b).abs() / a.abs().max(1e-3);
+            assert!(rel < 2e-3, "f16 error too large: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert!(f16_to_f32(f32_to_f16(f32::INFINITY)).is_infinite());
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f16_to_f32(f32_to_f16(1e9)), f32::INFINITY, "overflow saturates");
+        assert_eq!(f16_to_f32(f32_to_f16(1e-20)), 0.0, "underflow flushes");
+        // subnormal half survives
+        let sub = 3.0e-6f32;
+        let rt = f16_to_f32(f32_to_f16(sub));
+        assert!((rt - sub).abs() / sub < 0.1, "subnormal {sub} -> {rt}");
+    }
+
+    #[test]
+    fn int8_roundtrip_error_bounded() {
+        let x = randn(30, 64, 5);
+        let rt = Precision::Int8.round_trip(&x);
+        for r in 0..30 {
+            let row = x.row(r);
+            let (lo, hi) = row
+                .iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+            let step = (hi - lo) / 254.0;
+            for (a, b) in row.iter().zip(rt.row(r)) {
+                assert!(
+                    (a - b).abs() <= step * 0.75 + 1e-6,
+                    "int8 error beyond half step: {a} vs {b} (step {step})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_constant_row() {
+        let x = Matrix::full(2, 4, 3.5);
+        let rt = Precision::Int8.round_trip(&x);
+        for v in rt.as_slice() {
+            assert!((v - 3.5).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_ratios() {
+        assert_eq!(Precision::F32.wire_bytes(10, 100), 4000);
+        assert_eq!(Precision::F16.wire_bytes(10, 100), 2000);
+        assert_eq!(Precision::Int8.wire_bytes(10, 100), 1000 + 80);
+    }
+
+    #[test]
+    fn quantized_nbytes() {
+        let x = randn(8, 16, 1);
+        let q = QuantizedMatrix::quantize_int8(&x);
+        assert_eq!(q.nbytes(), 8 * 16 + 8 * 8);
+    }
+
+    #[test]
+    fn f32_round_trip_is_identity() {
+        let x = randn(5, 5, 9);
+        assert_eq!(Precision::F32.round_trip(&x).as_slice(), x.as_slice());
+    }
+}

@@ -1,0 +1,56 @@
+//! Watch Algorithm 1 work: start from a deliberately *bad* task mapping
+//! and trace the DRM engine rebalancing workload and threads each
+//! iteration (paper §IV-A).
+//!
+//! ```sh
+//! cargo run --release --example drm_trace
+//! ```
+
+use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+use hyscale::core::{AcceleratorKind, PerfModel, SystemConfig};
+use hyscale::gnn::GnnKind;
+use hyscale::graph::dataset::OGBN_PAPERS100M;
+
+fn main() {
+    let cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+    let pm = PerfModel::new(&cfg);
+    let ds = OGBN_PAPERS100M;
+
+    // Deliberately bad start: half the seeds on the CPU trainer, all
+    // sampling on the CPU, threads skewed to the loader.
+    let mut split = WorkloadSplit::new(2560, 5120, 4);
+    let mut threads = ThreadAlloc { sampler: 4, loader: 100, trainer: 24 };
+    let drm = DrmEngine::new(true);
+
+    println!("DRM engine trace (papers100M, GCN, CPU + 4x U250), bad initial mapping:\n");
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>8}  {:>22}  action",
+        "iter", "T_SC(ms)", "T_load", "T_tran", "T_TC", "T_TA", "iter(ms)", "cpu quota / threads"
+    );
+    for i in 0..30 {
+        let t = pm.stage_times_runtime(&ds, &split, &threads);
+        let action = drm.adjust(&t, &mut split, &mut threads);
+        println!(
+            "{:>4}  {:>9.2}  {:>9.2}  {:>9.2}  {:>9.2}  {:>9.2}  {:>8.2}  {:>6} / s{} l{} t{}   {:?}",
+            i,
+            t.sample_cpu * 1e3,
+            t.load * 1e3,
+            t.transfer * 1e3,
+            t.train_cpu * 1e3,
+            t.train_accel * 1e3,
+            t.pipelined_iteration() * 1e3,
+            split.cpu_quota,
+            threads.sampler,
+            threads.loader,
+            threads.trainer,
+            action,
+        );
+    }
+    let final_t = pm.stage_times_runtime(&ds, &split, &threads);
+    println!(
+        "\nsettled: iteration {:.2} ms, cpu quota {}, sampling on accel {:.0}%",
+        final_t.pipelined_iteration() * 1e3,
+        split.cpu_quota,
+        split.sampling_on_accel * 100.0
+    );
+}

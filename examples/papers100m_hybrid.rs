@@ -1,0 +1,71 @@
+//! Large-scale timing study: ogbn-papers100M (1.6 B edges at full
+//! scale) on the CPU + 4-FPGA system, demonstrating the graph-in-CPU-
+//! memory placement (paper §III-B) and watching the DRM engine settle.
+//!
+//! The full feature matrix (57 GB) cannot live in any device memory —
+//! the memory model proves it — so the system streams mini-batches while
+//! both CPU and FPGAs train.
+//!
+//! ```sh
+//! cargo run --release --example papers100m_hybrid
+//! ```
+
+use hyscale::core::{AcceleratorKind, HybridTrainer, SystemConfig};
+use hyscale::device::memory::{check_device_placement, check_host_placement};
+use hyscale::device::spec::ALVEO_U250;
+use hyscale::gnn::GnnKind;
+use hyscale::graph::dataset::OGBN_PAPERS100M;
+use hyscale::graph::features::Splits;
+use hyscale::sampler::expected_workload;
+
+fn main() {
+    let spec = OGBN_PAPERS100M;
+
+    // --- Motivation: placement feasibility (paper §I) ---
+    let device_placement = check_device_placement(&spec, &ALVEO_U250);
+    println!(
+        "GraphACT/HP-GNN-style placement (graph in device memory): {} GB needed, fits U250: {}",
+        device_placement.graph_bytes / 1_000_000_000,
+        device_placement.fits
+    );
+    let stats = expected_workload(spec.num_vertices, spec.avg_degree(), 1024, &[25, 10]);
+    let dims = [spec.f0, 256, spec.f2];
+    let host = check_host_placement(&spec, &stats, &dims, 1_000_000, 4096.0, &ALVEO_U250);
+    println!(
+        "HyScale-GNN placement (graph in CPU memory, {} MB/batch streamed): fits: {}\n",
+        host.minibatch_bytes / 1_000_000,
+        host.fits
+    );
+
+    // --- Functional run at 1/2000 scale with DRM trace ---
+    let mut dataset = spec.materialize(2000, 3);
+    dataset.splits = Splits::random(dataset.graph.num_vertices(), 0.6, 0.2, 4);
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+    cfg.train.batch_per_trainer = 512;
+    cfg.train.max_functional_iters = Some(6);
+    let mut trainer = HybridTrainer::new(cfg, dataset);
+
+    println!("training GCN, CPU + 4x U250, batch 512/trainer, fanouts (25,10):");
+    for report in trainer.train_epochs(3) {
+        println!("{report}");
+        for it in &report.trace {
+            println!(
+                "    iter {}: pipeline {:>7.2} ms  [samp {:>6.2} | load {:>6.2} | xfer {:>6.2} | prop {:>6.2}]  cpu quota {:>4}  {:?}",
+                it.iter,
+                it.iter_time_s * 1e3,
+                it.times.sampling() * 1e3,
+                it.times.load * 1e3,
+                it.times.transfer * 1e3,
+                it.times.propagation() * 1e3,
+                it.cpu_quota,
+                it.drm_action,
+            );
+        }
+    }
+    let iters = spec.train_vertices.div_ceil(trainer.split().total as u64);
+    println!(
+        "\nfull-scale projection: {} iterations/epoch ({} seeds each) at the settled mapping",
+        iters,
+        trainer.split().total
+    );
+}

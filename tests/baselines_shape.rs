@@ -1,0 +1,144 @@
+//! Cross-system comparison shape (paper Tables VI/VII, Fig. 10): who
+//! wins, in which metric, must match the paper even though absolute
+//! times come from simulation.
+
+use hyscale::baselines::{BaselineSystem, DistDglV2, P3, PaGraph, PygMultiGpu, SotaConfig};
+use hyscale::gnn::GnnKind;
+use hyscale::graph::dataset::{OGBN_PAPERS100M, OGBN_PRODUCTS};
+use hyscale_bench::{geo_mean, simulate_epoch, DRM_SETTLE_ITERS};
+use hyscale::core::{AcceleratorKind, SystemConfig};
+
+fn this_work(ds: &hyscale::graph::DatasetSpec, model: GnnKind, sota: &SotaConfig) -> f64 {
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+    cfg.train.fanouts = sota.fanouts.clone();
+    cfg.train.hidden_dim = sota.hidden_dim;
+    simulate_epoch(&cfg, ds, DRM_SETTLE_ITERS).epoch_time_s
+}
+
+/// This Work's platform peak TFLOPS (2× EPYC + 4× U250).
+const OUR_TFLOPS: f64 = 2.0 * 3.6 + 4.0 * 0.6;
+
+#[test]
+fn fig10_ordering_holds() {
+    // multi-GPU slowest, CPU+GPU middle, CPU+FPGA fastest — on every
+    // dataset/model pair
+    let pyg = PygMultiGpu::paper_baseline();
+    let sota = SotaConfig::pagraph();
+    for ds in [OGBN_PRODUCTS, OGBN_PAPERS100M] {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let base = pyg.epoch_time(&ds, model, &sota);
+            let gpu = {
+                let cfg = SystemConfig::paper_default(AcceleratorKind::a5000(), model);
+                simulate_epoch(&cfg, &ds, DRM_SETTLE_ITERS).epoch_time_s
+            };
+            let fpga = {
+                let cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
+                simulate_epoch(&cfg, &ds, DRM_SETTLE_ITERS).epoch_time_s
+            };
+            assert!(
+                fpga < gpu && gpu < base,
+                "{} {}: ordering broken (base {base:.2}, gpu {gpu:.2}, fpga {fpga:.2})",
+                ds.name,
+                model.name()
+            );
+            let fpga_speedup = base / fpga;
+            assert!(
+                (3.0..40.0).contains(&fpga_speedup),
+                "{} {}: FPGA speedup {fpga_speedup:.1} out of band",
+                ds.name,
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table_vi_we_beat_pagraph_and_p3() {
+    let pagraph = PaGraph::paper_setup();
+    let p3 = P3::paper_setup();
+    let mut pagraph_speedups = Vec::new();
+    let mut p3_speedups = Vec::new();
+    for ds in [OGBN_PRODUCTS, OGBN_PAPERS100M] {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let cfg_a = SotaConfig::pagraph();
+            pagraph_speedups.push(pagraph.epoch_time(&ds, model, &cfg_a) / this_work(&ds, model, &cfg_a));
+            let cfg_b = SotaConfig::p3();
+            p3_speedups.push(p3.epoch_time(&ds, model, &cfg_b) / this_work(&ds, model, &cfg_b));
+        }
+    }
+    let g_pagraph = geo_mean(&pagraph_speedups);
+    let g_p3 = geo_mean(&p3_speedups);
+    // paper: 1.76x vs PaGraph, 4.57x vs P3 (geo-mean)
+    assert!(g_pagraph > 1.0, "should beat PaGraph, got {g_pagraph:.2}x");
+    assert!(g_p3 > 1.0, "should beat P3, got {g_p3:.2}x");
+    assert!(g_p3 > g_pagraph * 0.8, "P3 should be the easier target");
+}
+
+#[test]
+fn table_vi_distdgl_wins_raw_but_loses_normalized() {
+    // paper: DistDGLv2 with 64 T4s beats 4 FPGAs on raw epoch time
+    // (0.45x) but loses 25x after normalizing by platform TFLOPS
+    let dd = DistDglV2::paper_setup();
+    let sota = SotaConfig::distdgl();
+    let mut raw = Vec::new();
+    let mut norm = Vec::new();
+    for ds in [OGBN_PRODUCTS, OGBN_PAPERS100M] {
+        let theirs = dd.epoch_time(&ds, GnnKind::GraphSage, &sota);
+        let ours = this_work(&ds, GnnKind::GraphSage, &sota);
+        raw.push(theirs / ours);
+        norm.push((theirs * dd.platform_tflops()) / (ours * OUR_TFLOPS));
+    }
+    let g_norm = geo_mean(&norm);
+    assert!(
+        g_norm > 5.0,
+        "normalized comparison must strongly favor this work, got {g_norm:.1}x"
+    );
+    // raw epoch-time speedup should be modest in either direction
+    let g_raw = geo_mean(&raw);
+    assert!(
+        (0.1..10.0).contains(&g_raw),
+        "raw DistDGLv2 comparison out of band: {g_raw:.2}x"
+    );
+}
+
+#[test]
+fn table_vii_normalized_favors_this_work_everywhere() {
+    let pagraph = PaGraph::paper_setup();
+    let p3 = P3::paper_setup();
+    for ds in [OGBN_PRODUCTS, OGBN_PAPERS100M] {
+        for model in [GnnKind::Gcn, GnnKind::GraphSage] {
+            let cfg = SotaConfig::pagraph();
+            let theirs = pagraph.normalized_epoch(&ds, model, &cfg);
+            let ours = this_work(&ds, model, &cfg) * OUR_TFLOPS;
+            assert!(
+                theirs / ours > 2.0,
+                "{} {}: normalized PaGraph ratio only {:.2}",
+                ds.name,
+                model.name(),
+                theirs / ours
+            );
+            let cfg = SotaConfig::p3();
+            let theirs = p3.normalized_epoch(&ds, model, &cfg);
+            let ours = this_work(&ds, model, &cfg) * OUR_TFLOPS;
+            assert!(theirs / ours > 2.0, "normalized P3 ratio too low");
+        }
+    }
+}
+
+#[test]
+fn pagraph_cache_heuristic_tracks_measured_coverage() {
+    // the sqrt(cache_fraction) hit-rate heuristic must be within ±0.25
+    // of measured top-k edge coverage on a synthetic power-law graph
+    use hyscale::graph::degree::top_k_edge_coverage;
+    use hyscale::graph::generator::preferential_attachment;
+    let g = preferential_attachment(20_000, 8, 3).symmetrize();
+    for frac in [0.05f64, 0.2, 0.5] {
+        let k = (g.num_vertices() as f64 * frac) as usize;
+        let measured = top_k_edge_coverage(&g, k);
+        let heuristic = frac.sqrt();
+        assert!(
+            (measured - heuristic).abs() < 0.25,
+            "cache heuristic off at frac {frac}: measured {measured:.2} vs sqrt {heuristic:.2}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! End-to-end convergence: the full hybrid system must train real models
+//! to high accuracy on learnable synthetic data — the functional half of
+//! the reproduction. Covers both models × both accelerator families.
+
+use hyscale::core::{AcceleratorKind, HybridTrainer, SystemConfig};
+use hyscale::gnn::GnnKind;
+use hyscale::graph::Dataset;
+
+fn config(accel: AcceleratorKind, model: GnnKind) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(accel, model);
+    cfg.platform.num_accelerators = 2;
+    cfg.train.batch_per_trainer = 96;
+    cfg.train.fanouts = vec![8, 4];
+    cfg.train.hidden_dim = 32;
+    cfg.train.learning_rate = 0.3;
+    cfg.train.max_functional_iters = Some(5);
+    cfg
+}
+
+fn assert_converges(accel: AcceleratorKind, model: GnnKind) {
+    let dataset = Dataset::toy(21);
+    let test = dataset.splits.test.clone();
+    let mut trainer = HybridTrainer::new(config(accel, model), dataset);
+    let before = trainer.evaluate(&test);
+    let reports = trainer.train_epochs(8);
+    let after = trainer.evaluate(&test);
+    assert!(
+        after > 0.85,
+        "{} on {}: test accuracy only {after} (started {before})",
+        model.name(),
+        trainer.config().platform.accelerator.label()
+    );
+    let first = reports.first().unwrap().loss;
+    let last = reports.last().unwrap().loss;
+    assert!(last < first, "loss rose: {first} -> {last}");
+}
+
+#[test]
+fn gcn_converges_on_fpga_system() {
+    assert_converges(AcceleratorKind::u250(), GnnKind::Gcn);
+}
+
+#[test]
+fn sage_converges_on_fpga_system() {
+    assert_converges(AcceleratorKind::u250(), GnnKind::GraphSage);
+}
+
+#[test]
+fn gcn_converges_on_gpu_system() {
+    assert_converges(AcceleratorKind::a5000(), GnnKind::Gcn);
+}
+
+#[test]
+fn sage_converges_on_gpu_system() {
+    assert_converges(AcceleratorKind::a5000(), GnnKind::GraphSage);
+}
+
+#[test]
+fn training_reports_are_well_formed() {
+    let dataset = Dataset::toy(5);
+    let mut trainer = HybridTrainer::new(config(AcceleratorKind::u250(), GnnKind::Gcn), dataset);
+    let r = trainer.train_epoch();
+    assert!(r.functional_iters > 0);
+    assert_eq!(r.trace.len(), r.functional_iters);
+    assert!(r.mean_iter_time_s > 0.0);
+    assert!(r.epoch_time_s >= r.mean_iter_time_s * r.full_scale_iters as f64);
+    assert!(r.trace.iter().all(|t| t.iter_time_s > 0.0 && t.mteps > 0.0));
+    // throughput metric consistency (Eq. 5): MTEPS * time == edges
+    for t in &r.trace {
+        assert!(t.mteps * t.iter_time_s * 1e6 > 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! System-level DRM behaviour (paper §IV-A): starting from a bad task
+//! mapping, Algorithm 1 must converge to a faster one while preserving
+//! the per-iteration seed total and the CPU thread budget.
+
+use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+use hyscale::core::{AcceleratorKind, PerfModel, SystemConfig};
+use hyscale::gnn::GnnKind;
+use hyscale::graph::dataset::{OGBN_PAPERS100M, OGBN_PRODUCTS};
+
+fn settle(
+    cfg: &SystemConfig,
+    split: &mut WorkloadSplit,
+    threads: &mut ThreadAlloc,
+    iters: usize,
+) -> (f64, f64) {
+    let pm = PerfModel::new(cfg);
+    let drm = DrmEngine::new(cfg.opt.hybrid);
+    let first = pm
+        .stage_times_runtime(&OGBN_PAPERS100M, split, threads)
+        .pipelined_iteration();
+    let mut best = first;
+    for _ in 0..iters {
+        let t = pm.stage_times_runtime(&OGBN_PAPERS100M, split, threads);
+        drm.adjust(&t, split, threads);
+        best = best.min(
+            pm.stage_times_runtime(&OGBN_PAPERS100M, split, threads)
+                .pipelined_iteration(),
+        );
+    }
+    (first, best)
+}
+
+#[test]
+fn drm_improves_bad_mapping() {
+    let cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+    // pathological start: half the batch on the CPU trainer, starved
+    // sampler threads
+    let mut split = WorkloadSplit::new(2560, 5120, 4);
+    let mut threads = ThreadAlloc { sampler: 2, loader: 2, trainer: 124 };
+    let (first, best) = settle(&cfg, &mut split, &mut threads, 120);
+    assert!(
+        best < first * 0.7,
+        "DRM failed to improve the mapping: {first:.5}s -> {best:.5}s"
+    );
+}
+
+#[test]
+fn drm_conserves_totals() {
+    let cfg = SystemConfig::paper_default(AcceleratorKind::a5000(), GnnKind::GraphSage);
+    let pm = PerfModel::new(&cfg);
+    let drm = DrmEngine::new(true);
+    let mut split = WorkloadSplit::new(1000, 5120, 4);
+    let mut threads = ThreadAlloc::default_for(128);
+    let thread_budget = threads.total();
+    for _ in 0..60 {
+        let t = pm.stage_times_runtime(&OGBN_PRODUCTS, &split, &threads);
+        drm.adjust(&t, &mut split, &mut threads);
+        assert_eq!(
+            split.quotas().iter().sum::<usize>(),
+            5120,
+            "seed total changed — synchronous SGD semantics broken"
+        );
+        assert_eq!(threads.total(), thread_budget, "thread budget leaked");
+        assert!(split.sampling_on_accel >= 0.0 && split.sampling_on_accel <= 1.0);
+    }
+}
+
+#[test]
+fn initial_mapping_is_coarse_but_sane() {
+    // the paper's two-phase mapping story: the design-time mapping is
+    // coarse; runtime DRM fine-tunes it. The coarse mapping should be
+    // within a small factor of the settled optimum, and settling should
+    // never make things worse.
+    let cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+    let pm = PerfModel::new(&cfg);
+    let (mut split, mut threads) = pm.initial_mapping(&OGBN_PAPERS100M);
+    let initial = pm
+        .stage_times_runtime(&OGBN_PAPERS100M, &split, &threads)
+        .pipelined_iteration();
+    let (_, settled) = settle(&cfg, &mut split, &mut threads, 80);
+    assert!(settled <= initial * 1.001, "DRM made the mapping worse");
+    assert!(
+        settled > initial * 0.2,
+        "design-time mapping was absurdly far off: {initial:.5}s vs {settled:.5}s"
+    );
+}

@@ -1,0 +1,151 @@
+//! The paper's semantics-preservation claim (§IV): "these optimizations
+//! do not alter the semantics of the GNN training algorithm; thus, the
+//! convergence rate and model accuracy remain the same as the original
+//! sequential algorithm."
+//!
+//! These tests make the claim mechanical:
+//! * the protocol-coordinated *parallel* weighted all-reduce produces
+//!   exactly the gradients of a sequential reduction over the same
+//!   batches;
+//! * the timing-layer optimizations (TFP) change no numerics at all;
+//! * replicas stay in bitwise lock-step across iterations.
+
+use hyscale::core::protocol::TrainingRound;
+use hyscale::core::sync::Synchronizer;
+use hyscale::core::{AcceleratorKind, HybridTrainer, OptFlags, SystemConfig};
+use hyscale::gnn::{GnnKind, GnnModel, Gradients};
+use hyscale::graph::features::gather_features;
+use hyscale::graph::Dataset;
+use hyscale::sampler::NeighborSampler;
+use std::sync::Arc;
+
+/// Parallel protocol all-reduce == sequential weighted average, exactly.
+#[test]
+fn parallel_allreduce_matches_sequential() {
+    let ds = Dataset::toy(3);
+    let sampler = NeighborSampler::new(vec![6, 4], 5);
+    let model = GnnModel::new(GnnKind::GraphSage, &[16, 32, 4], 9);
+
+    // three trainers with deliberately unequal quotas (DRM-style split)
+    let quotas = [60usize, 30, 10];
+    let mut start = 0;
+    let work: Vec<_> = quotas
+        .iter()
+        .map(|&q| {
+            let seeds: Vec<u32> = ds.splits.train[start..start + q].to_vec();
+            start += q;
+            let mb = sampler.sample(&ds.graph, &seeds, q as u64);
+            let x = gather_features(&ds.data.features, &mb.input_nodes);
+            let labels: Vec<u32> =
+                seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
+            (mb, x, labels)
+        })
+        .collect();
+
+    // sequential reference
+    let seq_parts: Vec<Gradients> =
+        work.iter().map(|(mb, x, l)| model.train_step(mb, x, l).grads).collect();
+    let seq_avg = Gradients::weighted_average(&seq_parts);
+
+    // parallel via the training protocol
+    let round = Arc::new(TrainingRound::new(3));
+    let sync = Synchronizer::new();
+    let mut par_avg = None;
+    std::thread::scope(|s| {
+        for (i, (mb, x, l)) in work.iter().enumerate() {
+            let round = Arc::clone(&round);
+            let model = &model;
+            s.spawn(move || {
+                let out = model.train_step(mb, x, l);
+                round.trainer_done(i, out.grads);
+                round.trainer_ack();
+            });
+        }
+        par_avg = Some(round.synchronize(&sync));
+        round.runtime_wait_acks();
+    });
+    let par_avg = par_avg.unwrap();
+
+    assert_eq!(par_avg.batch_size, seq_avg.batch_size);
+    for (a, b) in par_avg.d_weights.iter().zip(&seq_avg.d_weights) {
+        assert_eq!(a.as_slice(), b.as_slice(), "parallel all-reduce diverged");
+    }
+    for (a, b) in par_avg.d_biases.iter().zip(&seq_avg.d_biases) {
+        assert_eq!(a, b);
+    }
+}
+
+/// The TFP optimization is pure timing: with the task mapping pinned,
+/// identical final weights with it on or off.
+#[test]
+fn tfp_does_not_change_numerics() {
+    use hyscale::core::drm::{ThreadAlloc, WorkloadSplit};
+    let run = |tfp: bool| {
+        let ds = Dataset::toy(11);
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags { hybrid: true, drm: false, tfp };
+        cfg.train.batch_per_trainer = 64;
+        cfg.train.fanouts = vec![6, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(4);
+        let mut t = HybridTrainer::new(cfg, ds);
+        t.set_mapping(WorkloadSplit::new(64, 192, 2), ThreadAlloc::default_for(128));
+        t.train_epochs(3);
+        t.model().flatten_params()
+    };
+    assert_eq!(run(true), run(false), "TFP altered training numerics");
+}
+
+/// The accelerator *kind* is pure timing too: with the mapping pinned, a
+/// GPU system and an FPGA system with identical algorithmic parameters
+/// train identical weights.
+#[test]
+fn accelerator_kind_does_not_change_numerics() {
+    use hyscale::core::drm::{ThreadAlloc, WorkloadSplit};
+    let run = |accel: AcceleratorKind| {
+        let ds = Dataset::toy(13);
+        let mut cfg = SystemConfig::paper_default(accel, GnnKind::GraphSage);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags { hybrid: true, drm: false, tfp: true };
+        cfg.train.batch_per_trainer = 48;
+        cfg.train.fanouts = vec![5, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(3);
+        let mut t = HybridTrainer::new(cfg, ds);
+        t.set_mapping(WorkloadSplit::new(48, 144, 2), ThreadAlloc::default_for(128));
+        t.train_epochs(2);
+        t.model().flatten_params()
+    };
+    assert_eq!(
+        run(AcceleratorKind::u250()),
+        run(AcceleratorKind::a5000()),
+        "device choice altered training numerics"
+    );
+}
+
+/// DRM re-partitions batches (a different but equally-valid sync-SGD
+/// trajectory) — it must not hurt convergence.
+#[test]
+fn drm_preserves_convergence() {
+    let run = |drm: bool| {
+        let ds = Dataset::toy(17);
+        let test = ds.splits.test.clone();
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags { hybrid: true, drm, tfp: true };
+        cfg.train.batch_per_trainer = 96;
+        cfg.train.fanouts = vec![8, 4];
+        cfg.train.hidden_dim = 32;
+        cfg.train.learning_rate = 0.3;
+        cfg.train.max_functional_iters = Some(5);
+        let mut t = HybridTrainer::new(cfg, ds);
+        t.train_epochs(8);
+        t.evaluate(&test)
+    };
+    let with_drm = run(true);
+    let without = run(false);
+    assert!(with_drm > 0.85, "DRM run accuracy {with_drm}");
+    assert!(without > 0.85, "static run accuracy {without}");
+    assert!((with_drm - without).abs() < 0.1, "DRM changed accuracy band: {with_drm} vs {without}");
+}

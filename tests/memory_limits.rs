@@ -1,0 +1,56 @@
+//! The motivating memory constraint (paper §I): large graphs cannot be
+//! device-resident; HyScale-GNN's host placement always fits.
+
+use hyscale::device::memory::{
+    check_device_placement, check_host_placement, graph_footprint_bytes, Placement,
+};
+use hyscale::device::spec::{ALVEO_U250, RTX_A5000, V100};
+use hyscale::graph::dataset::{ALL_DATASETS, MAG240M_HOMO, OGBN_PAPERS100M, OGBN_PRODUCTS};
+use hyscale::sampler::expected_workload;
+
+#[test]
+fn prior_work_placement_fails_on_large_graphs() {
+    for ds in [OGBN_PAPERS100M, MAG240M_HOMO] {
+        for dev in [RTX_A5000, ALVEO_U250, V100] {
+            let r = check_device_placement(&ds, &dev);
+            assert_eq!(r.placement, Placement::DeviceMemory);
+            assert!(!r.fits, "{} should overflow {}", ds.name, dev.name);
+        }
+    }
+}
+
+#[test]
+fn medium_graph_fits_device_memory() {
+    // products is the medium-scale dataset prior work could handle
+    let r = check_device_placement(&OGBN_PRODUCTS, &ALVEO_U250);
+    assert!(r.fits);
+}
+
+#[test]
+fn hyscale_placement_fits_all_datasets() {
+    for ds in ALL_DATASETS {
+        let stats = expected_workload(ds.num_vertices, ds.avg_degree(), 1024, &[25, 10]);
+        let dims = [ds.f0, 256, ds.f2];
+        for dev in [RTX_A5000, ALVEO_U250] {
+            let r = check_host_placement(&ds, &stats, &dims, 2_000_000, 4096.0, &dev);
+            assert!(
+                r.fits,
+                "{} on {}: graph {} GB, batch {} MB",
+                ds.name,
+                dev.name,
+                r.graph_bytes / 1_000_000_000,
+                r.minibatch_bytes / 1_000_000
+            );
+        }
+    }
+}
+
+#[test]
+fn footprints_scale_with_dataset() {
+    let p = graph_footprint_bytes(&OGBN_PRODUCTS);
+    let pp = graph_footprint_bytes(&OGBN_PAPERS100M);
+    let m = graph_footprint_bytes(&MAG240M_HOMO);
+    assert!(p < pp && pp < m, "footprint ordering broken: {p} {pp} {m}");
+    // MAG240M raw f32 features alone exceed 300 GB
+    assert!(m > 300_000_000_000);
+}

@@ -1,0 +1,57 @@
+//! Optimizer selection and the `fit` convenience runner.
+
+use hyscale::core::config::OptimizerKind;
+use hyscale::core::{AcceleratorKind, HybridTrainer, SystemConfig};
+use hyscale::gnn::GnnKind;
+use hyscale::graph::Dataset;
+
+fn cfg(optimizer: OptimizerKind, lr: f32) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::GraphSage);
+    cfg.platform.num_accelerators = 2;
+    cfg.train.batch_per_trainer = 96;
+    cfg.train.fanouts = vec![8, 4];
+    cfg.train.hidden_dim = 32;
+    cfg.train.learning_rate = lr;
+    cfg.train.optimizer = optimizer;
+    cfg.train.max_functional_iters = Some(5);
+    cfg
+}
+
+#[test]
+fn all_optimizers_converge() {
+    for (opt, lr) in [
+        (OptimizerKind::Sgd, 0.3),
+        (OptimizerKind::Momentum(0.9), 0.05),
+        (OptimizerKind::Adam, 0.01),
+    ] {
+        let dataset = Dataset::toy(71);
+        let test = dataset.splits.test.clone();
+        let mut trainer = HybridTrainer::new(cfg(opt, lr), dataset);
+        trainer.train_epochs(8);
+        let acc = trainer.evaluate(&test);
+        assert!(acc > 0.85, "{opt:?}: accuracy only {acc}");
+    }
+}
+
+#[test]
+fn fit_records_history_and_stops_early() {
+    let dataset = Dataset::toy(72);
+    let val = dataset.splits.val.clone();
+    let mut trainer = HybridTrainer::new(cfg(OptimizerKind::Sgd, 0.3), dataset);
+    // toy data converges fast: with patience 2, fit should stop well
+    // before 40 epochs
+    let history = trainer.fit(40, &val, Some(2));
+    assert!(history.epochs() < 40, "early stopping never fired ({} epochs)", history.epochs());
+    assert!(history.best_val_accuracy().unwrap() > 0.85);
+    assert_eq!(history.val_accuracy.len(), history.epochs());
+    assert!(history.mean_epoch_time().unwrap() > 0.0);
+}
+
+#[test]
+fn fit_without_patience_runs_all_epochs() {
+    let dataset = Dataset::toy(73);
+    let val = dataset.splits.val.clone();
+    let mut trainer = HybridTrainer::new(cfg(OptimizerKind::Sgd, 0.3), dataset);
+    let history = trainer.fit(3, &val, None);
+    assert_eq!(history.epochs(), 3);
+}
