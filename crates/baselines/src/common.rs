@@ -29,17 +29,29 @@ pub struct SotaConfig {
 impl SotaConfig {
     /// PaGraph row: fanout (25, 10), hidden 256.
     pub fn pagraph() -> Self {
-        Self { fanouts: vec![25, 10], hidden_dim: 256, batch_per_trainer: 1024 }
+        Self {
+            fanouts: vec![25, 10],
+            hidden_dim: 256,
+            batch_per_trainer: 1024,
+        }
     }
 
     /// P3 row: fanout (25, 10), hidden 32.
     pub fn p3() -> Self {
-        Self { fanouts: vec![25, 10], hidden_dim: 32, batch_per_trainer: 1024 }
+        Self {
+            fanouts: vec![25, 10],
+            hidden_dim: 32,
+            batch_per_trainer: 1024,
+        }
     }
 
     /// DistDGLv2 row: fanout (15, 10, 5), hidden 256.
     pub fn distdgl() -> Self {
-        Self { fanouts: vec![15, 10, 5], hidden_dim: 256, batch_per_trainer: 1024 }
+        Self {
+            fanouts: vec![15, 10, 5],
+            hidden_dim: 256,
+            batch_per_trainer: 1024,
+        }
     }
 
     /// Layer dims for a dataset under this config.
@@ -54,7 +66,12 @@ impl SotaConfig {
 
     /// Expected per-trainer batch workload on `ds`.
     pub fn workload(&self, ds: &DatasetSpec) -> WorkloadStats {
-        expected_workload(ds.num_vertices, ds.avg_degree(), self.batch_per_trainer, &self.fanouts)
+        expected_workload(
+            ds.num_vertices,
+            ds.avg_degree(),
+            self.batch_per_trainer,
+            &self.fanouts,
+        )
     }
 }
 

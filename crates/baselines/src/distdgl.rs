@@ -8,9 +8,7 @@
 //! the strongest absolute numbers in Table VI (the paper reaches 0.45×
 //! of it with 4 FPGAs — a win after normalization, Table VII).
 
-use crate::common::{
-    gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S,
-};
+use crate::common::{gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S};
 use hyscale_device::calib;
 use hyscale_device::pcie::PcieLink;
 use hyscale_device::spec::{DeviceSpec, T4};
@@ -89,8 +87,7 @@ impl BaselineSystem for DistDglV2 {
         let t_net = remote_bytes as f64 / (self.nic_gbs * 1e9);
         let loader = LoaderModel::new(CLOUD_CPU, 1);
         let mut local = per_gpu.clone();
-        local.input_nodes =
-            (local.input_nodes as f64 * (1.0 - self.remote_fraction)) as usize;
+        local.input_nodes = (local.input_nodes as f64 * (1.0 - self.remote_fraction)) as usize;
         let t_load = loader.load_time(&local, ds.f0, CLOUD_CPU.cores) * self.gpus_per_node as f64;
         // PCIe to each GPU (pinned; DGL v2 uses pinned buffers)
         let pcie = PcieLink::new(calib::PCIE_EFF_BW_GBS, calib::PCIE_LATENCY_S);
@@ -100,8 +97,7 @@ impl BaselineSystem for DistDglV2 {
         let gpu = GpuTiming::new(self.gpu);
         let mut gpu_stats = per_gpu.clone();
         gpu_stats.batch_size = (gpu_stats.batch_size as f64 * 0.85) as usize;
-        let t_gpu =
-            gpu_propagation_time(&gpu, &gpu_stats, &dims, model, DGL_FRAMEWORK_OVERHEAD_S);
+        let t_gpu = gpu_propagation_time(&gpu, &gpu_stats, &dims, model, DGL_FRAMEWORK_OVERHEAD_S);
         // async pipeline (DistDGLv2's improvement over v1): fetch overlaps
         // compute; sampling remains on the critical path
         t_samp + (t_net + t_load).max(t_trans + t_gpu)
@@ -126,7 +122,9 @@ mod tests {
         let cfg = SotaConfig::distdgl();
         assert_eq!(d.total_batch(&cfg), 64 * 1024);
         // products: only 196k train vertices -> very few iterations
-        let iters = OGBN_PRODUCTS.train_vertices.div_ceil(d.total_batch(&cfg) as u64);
+        let iters = OGBN_PRODUCTS
+            .train_vertices
+            .div_ceil(d.total_batch(&cfg) as u64);
         assert!(iters <= 4);
     }
 

@@ -52,7 +52,10 @@ pub struct GraphActStyle {
 impl GraphActStyle {
     /// A U250 with the Table IV kernel.
     pub fn u250() -> Self {
-        Self { device: ALVEO_U250, timing: FpgaTiming::u250() }
+        Self {
+            device: ALVEO_U250,
+            timing: FpgaTiming::u250(),
+        }
     }
 
     /// Epoch time, or a capacity error when the graph cannot be
@@ -77,7 +80,9 @@ impl GraphActStyle {
         // for features (device-resident), propagation on the device
         let sampler = SamplerModel::default();
         let t_samp = sampler.sample_time(stats.total_edges(), 32);
-        let t_prop = self.timing.propagation_time(&stats, &dims, model.update_width_factor())
+        let t_prop = self
+            .timing
+            .propagation_time(&stats, &dims, model.update_width_factor())
             + self.timing.launch_overhead();
         let iter = t_samp.max(t_prop); // GraphACT overlaps sampling
         let iters = ds.train_vertices.div_ceil(cfg.batch_per_trainer as u64);
@@ -93,7 +98,9 @@ mod tests {
     #[test]
     fn runs_on_products() {
         let g = GraphActStyle::u250();
-        let t = g.epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &SotaConfig::pagraph()).unwrap();
+        let t = g
+            .epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &SotaConfig::pagraph())
+            .unwrap();
         assert!(t > 0.0 && t < 60.0, "epoch {t}");
     }
 
@@ -101,7 +108,9 @@ mod tests {
     fn refuses_large_graphs() {
         let g = GraphActStyle::u250();
         for ds in [OGBN_PAPERS100M, MAG240M_HOMO] {
-            let err = g.epoch_time(&ds, GnnKind::Gcn, &SotaConfig::pagraph()).unwrap_err();
+            let err = g
+                .epoch_time(&ds, GnnKind::Gcn, &SotaConfig::pagraph())
+                .unwrap_err();
             assert!(err.required_bytes > err.capacity_bytes);
             assert!(err.to_string().contains("GB"));
         }

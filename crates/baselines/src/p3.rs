@@ -8,9 +8,7 @@
 //! inter-node data communication ... which causes extra communication
 //! overhead compared with HyScale-GNN."
 
-use crate::common::{
-    gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S,
-};
+use crate::common::{gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S};
 use hyscale_device::calib;
 use hyscale_device::pcie::PcieLink;
 use hyscale_device::spec::{DeviceSpec, P100, XEON_E5_2690};
@@ -132,6 +130,9 @@ mod tests {
         let products = p.epoch_time(&OGBN_PRODUCTS, GnnKind::Gcn, &cfg);
         let papers = p.epoch_time(&OGBN_PAPERS100M, GnnKind::Gcn, &cfg);
         assert!(products > 0.1 && products < 10.0, "products {products}");
-        assert!(papers > products * 1.5, "papers {papers} vs products {products}");
+        assert!(
+            papers > products * 1.5,
+            "papers {papers} vs products {products}"
+        );
     }
 }

@@ -7,9 +7,7 @@
 //! miss occurs frequently when training on large-scale graphs like
 //! ogbn-papers100M", blowing up PCIe traffic.
 
-use crate::common::{
-    gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S,
-};
+use crate::common::{gpu_propagation_time, BaselineSystem, SotaConfig, DGL_FRAMEWORK_OVERHEAD_S};
 use hyscale_device::calib;
 use hyscale_device::pcie::PcieLink;
 use hyscale_device::spec::{DeviceSpec, V100, XEON_8163};
@@ -35,7 +33,13 @@ pub struct PaGraph {
 impl PaGraph {
     /// The Table V configuration.
     pub fn paper_setup() -> Self {
-        Self { gpu: V100, num_gpus: 8, cpu: XEON_8163, sockets: 2, workspace_gb: 6.0 }
+        Self {
+            gpu: V100,
+            num_gpus: 8,
+            cpu: XEON_8163,
+            sockets: 2,
+            workspace_gb: 6.0,
+        }
     }
 
     /// Fraction of vertices whose features fit the per-GPU cache.

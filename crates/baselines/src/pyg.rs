@@ -32,7 +32,13 @@ pub struct PygMultiGpu {
 impl PygMultiGpu {
     /// The paper's baseline: 4× A5000 on the dual-EPYC node.
     pub fn paper_baseline() -> Self {
-        Self { gpu: RTX_A5000, num_gpus: 4, cpu: EPYC_7763, sockets: 2, loader_workers: 32 }
+        Self {
+            gpu: RTX_A5000,
+            num_gpus: 4,
+            cpu: EPYC_7763,
+            sockets: 2,
+            loader_workers: 32,
+        }
     }
 }
 
@@ -58,21 +64,23 @@ impl BaselineSystem for PygMultiGpu {
             merged = merged.merge(&per_gpu);
         }
         let sampler = SamplerModel::default();
-        let t_samp = sampler.sample_time(
-            merged.total_edges(),
-            self.loader_workers,
-        );
+        let t_samp = sampler.sample_time(merged.total_edges(), self.loader_workers);
         let loader = LoaderModel::new(self.cpu, self.sockets);
-        let t_load = loader.load_time(&merged, ds.f0, self.loader_workers)
-            + PYG_DATALOADER_OVERHEAD_S;
+        let t_load =
+            loader.load_time(&merged, ds.f0, self.loader_workers) + PYG_DATALOADER_OVERHEAD_S;
         // pageable transfers, parallel links
         let unpinned = PcieLink::new(calib::PCIE_UNPINNED_BW_GBS, calib::PCIE_LATENCY_S);
         let bytes = per_gpu.feature_bytes(ds.f0) + per_gpu.total_edges() * 8;
         let t_trans = unpinned.transfer_time(bytes);
         // GPU propagation with the PyTorch stack overhead
         let gpu = GpuTiming::new(self.gpu);
-        let t_gpu =
-            gpu_propagation_time(&gpu, &per_gpu, &dims, model, calib::GPU_FRAMEWORK_OVERHEAD_S);
+        let t_gpu = gpu_propagation_time(
+            &gpu,
+            &per_gpu,
+            &dims,
+            model,
+            calib::GPU_FRAMEWORK_OVERHEAD_S,
+        );
         // NCCL-style all-reduce over PCIe
         let model_bytes: u64 = dims
             .windows(2)
@@ -110,8 +118,14 @@ mod tests {
         let cfg = SotaConfig::pagraph();
         let products = b.epoch_time(&OGBN_PRODUCTS, GnnKind::GraphSage, &cfg);
         let papers = b.epoch_time(&OGBN_PAPERS100M, GnnKind::GraphSage, &cfg);
-        assert!(products > 0.5 && products < 20.0, "products epoch {products}");
-        assert!(papers > products, "papers {papers} should exceed products {products}");
+        assert!(
+            products > 0.5 && products < 20.0,
+            "products epoch {products}"
+        );
+        assert!(
+            papers > products,
+            "papers {papers} should exceed products {products}"
+        );
     }
 
     #[test]

@@ -11,8 +11,15 @@ use hyscale_tensor::init::randn;
 use std::hint::black_box;
 
 fn bench_aggregation(c: &mut Criterion) {
-    let graph = rmat(RmatConfig { scale: 13, avg_degree: 16, ..Default::default() }, 5)
-        .symmetrize();
+    let graph = rmat(
+        RmatConfig {
+            scale: 13,
+            avg_degree: 16,
+            ..Default::default()
+        },
+        5,
+    )
+    .symmetrize();
     let sampler = NeighborSampler::new(vec![25, 10], 1);
     let seeds: Vec<u32> = (0..256u32).collect();
     let mb = sampler.sample(&graph, &seeds, 0);
@@ -22,12 +29,23 @@ fn bench_aggregation(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("aggregation");
     g.sample_size(10);
-    g.bench_function("cpu_gcn", |b| b.iter(|| black_box(aggregate_gcn(block, &h, &coef))));
-    g.bench_function("cpu_mean", |b| b.iter(|| black_box(aggregate_mean(block, &h))));
+    g.bench_function("cpu_gcn", |b| {
+        b.iter(|| black_box(aggregate_gcn(block, &h, &coef)))
+    });
+    g.bench_function("cpu_mean", |b| {
+        b.iter(|| black_box(aggregate_mean(block, &h)))
+    });
     let cfg = FpgaKernelConfig::default();
     g.bench_function("fpga_sim_gcn", |b| {
         b.iter(|| {
-            black_box(simulate_aggregation(block, &h, &coef.edge, &coef.self_loop, &cfg, false))
+            black_box(simulate_aggregation(
+                block,
+                &h,
+                &coef.edge,
+                &coef.self_loop,
+                &cfg,
+                false,
+            ))
         })
     });
     g.finish();

@@ -9,20 +9,30 @@ fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
     g.sample_size(10);
     // (rows of the mini-batch layer, f_in, f_out) at paper-like dims
-    for &(m, k, n) in &[(1024usize, 100usize, 256usize), (4096, 128, 256), (1024, 256, 47)] {
+    for &(m, k, n) in &[
+        (1024usize, 100usize, 256usize),
+        (4096, 128, 256),
+        (1024, 256, 47),
+    ] {
         let a = randn(m, k, 1);
         let b = randn(k, n, 2);
-        g.bench_with_input(BenchmarkId::new("nn", format!("{m}x{k}x{n}")), &(), |bch, ()| {
-            bch.iter(|| black_box(gemm_nn(&a, &b)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nn", format!("{m}x{k}x{n}")),
+            &(),
+            |bch, ()| bch.iter(|| black_box(gemm_nn(&a, &b))),
+        );
         let bt = randn(n, k, 3);
-        g.bench_with_input(BenchmarkId::new("nt", format!("{m}x{k}x{n}")), &(), |bch, ()| {
-            bch.iter(|| black_box(gemm_nt(&a, &bt)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nt", format!("{m}x{k}x{n}")),
+            &(),
+            |bch, ()| bch.iter(|| black_box(gemm_nt(&a, &bt))),
+        );
         let at = randn(k, m, 4);
-        g.bench_with_input(BenchmarkId::new("tn", format!("{m}x{k}x{n}")), &(), |bch, ()| {
-            bch.iter(|| black_box(gemm_tn(&at, &b)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tn", format!("{m}x{k}x{n}")),
+            &(),
+            |bch, ()| bch.iter(|| black_box(gemm_tn(&at, &b))),
+        );
     }
     g.finish();
 }

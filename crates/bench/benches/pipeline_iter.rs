@@ -24,6 +24,7 @@ fn config() -> SystemConfig {
             seed: 3,
             max_functional_iters: Some(1),
             transfer_precision: hyscale_tensor::Precision::F32,
+            prefetch_depth: 0,
         },
     }
 }
@@ -43,5 +44,26 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Serial (`prefetch_depth = 0`) vs. really-prefetched epochs: same
+/// batches, same weights, different wall-clock — the Task-level Feature
+/// Prefetching win measured end to end rather than simulated.
+fn bench_prefetch_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetch_epoch");
+    g.sample_size(10);
+    let ds = Dataset::toy(2);
+    let mut cfg = config();
+    cfg.train.max_functional_iters = Some(4);
+    for depth in [0usize, 1, 2, 4] {
+        let mut cfg = cfg.clone();
+        cfg.train.prefetch_depth = depth;
+        let id = format!("depth_{depth}");
+        g.bench_function(id.as_str(), |b| {
+            let mut trainer = HybridTrainer::new(cfg.clone(), ds.clone());
+            b.iter(|| black_box(trainer.train_epoch()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_prefetch_overlap);
 criterion_main!(benches);

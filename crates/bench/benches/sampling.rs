@@ -6,8 +6,15 @@ use hyscale_sampler::{NeighborSampler, RandomWalkSampler};
 use std::hint::black_box;
 
 fn bench_sampling(c: &mut Criterion) {
-    let graph = rmat(RmatConfig { scale: 14, avg_degree: 16, ..Default::default() }, 7)
-        .symmetrize();
+    let graph = rmat(
+        RmatConfig {
+            scale: 14,
+            avg_degree: 16,
+            ..Default::default()
+        },
+        7,
+    )
+    .symmetrize();
     let seeds: Vec<u32> = (0..512u32).collect();
 
     let mut g = c.benchmark_group("sampling");

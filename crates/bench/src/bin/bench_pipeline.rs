@@ -1,0 +1,158 @@
+//! Measured serial-vs-prefetched training throughput, emitted as
+//! `BENCH_pipeline.json` so the perf trajectory of the real pipeline is
+//! tracked from PR to PR.
+//!
+//! Runs a products-like workload (ogbn-products at reduced scale,
+//! GraphSAGE, hybrid CPU+FPGA organization, int8 wire precision — the
+//! paper's PCIe-bound regime where §VIII proposes quantization) twice
+//! with identical seeds: once fully serial (`prefetch_depth = 0`) and
+//! once with task-level feature prefetching. It reports measured
+//! iterations/second and speedup, plus the discrete-event simulator's
+//! prediction from the measured serial stage walls — the steady-state
+//! bound a host with enough cores converges to. On a single-core
+//! container the measured speedup degenerates to ~1x (there is no second
+//! core to overlap on; `cpus` in the JSON tells you which case you are
+//! looking at), while the predicted number remains meaningful.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin bench_pipeline
+//! ```
+//!
+//! Workload knobs (for experiments; defaults are the tracked config):
+//! `BENCH_SCALE`, `BENCH_HIDDEN`, `BENCH_BATCH`, `BENCH_PRECISION`
+//! (`int8`|`f16`|`f32`).
+
+use hyscale_core::config::AcceleratorKind;
+use hyscale_core::pipeline::{simulate_pipeline, PipelineStageCosts};
+use hyscale_core::{EpochReport, HybridTrainer, OptFlags, SystemConfig, WallStageTimes};
+use hyscale_gnn::GnnKind;
+use hyscale_graph::dataset::OGBN_PRODUCTS;
+use hyscale_graph::features::Splits;
+use hyscale_graph::Dataset;
+
+const EPOCHS: usize = 3;
+const DEPTH: usize = 2;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dataset() -> Dataset {
+    let scale = env_or("BENCH_SCALE", 50) as u64;
+    let mut dataset = OGBN_PRODUCTS.materialize(scale, 1);
+    dataset.splits = Splits::random(dataset.graph.num_vertices(), 0.6, 0.2, 2);
+    dataset
+}
+
+fn config(prefetch_depth: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::GraphSage);
+    // Static mapping: the tracked number is the settled steady state of
+    // paper Eq. 6. DRM's balance_work moves invalidate the speculative
+    // queue (that path is exercised by tests/equivalence.rs); with DRM
+    // live the bench would mostly measure re-mapping churn.
+    cfg.opt = OptFlags {
+        hybrid: true,
+        drm: false,
+        tfp: true,
+    };
+    cfg.train.batch_per_trainer = env_or("BENCH_BATCH", 512);
+    cfg.train.hidden_dim = env_or("BENCH_HIDDEN", 32);
+    cfg.train.max_functional_iters = Some(6);
+    cfg.train.prefetch_depth = prefetch_depth;
+    cfg.train.transfer_precision = match std::env::var("BENCH_PRECISION").as_deref() {
+        Ok("f16") => hyscale_tensor::Precision::F16,
+        Ok("f32") => hyscale_tensor::Precision::F32,
+        _ => hyscale_tensor::Precision::Int8,
+    };
+    cfg
+}
+
+/// Train `EPOCHS` epochs, returning the reports past the warm-up epoch.
+fn run(prefetch_depth: usize, dataset: &Dataset) -> Vec<EpochReport> {
+    let mut trainer = HybridTrainer::new(config(prefetch_depth), dataset.clone());
+    let mut reports = trainer.train_epochs(EPOCHS);
+    reports.remove(0); // warm-up: pool is cold, allocator untouched
+    reports
+}
+
+fn functional_wall(reports: &[EpochReport]) -> f64 {
+    reports.iter().map(|r| r.wall_s).sum()
+}
+
+fn iters(reports: &[EpochReport]) -> usize {
+    reports.iter().map(|r| r.functional_iters).sum()
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let dataset = dataset();
+    eprintln!(
+        "bench_pipeline: {} @ 1/{} scale, {} epochs ({} warm-up), prefetch depth {DEPTH}, {cpus} cpu(s)",
+        dataset.spec.name, dataset.scale, EPOCHS, 1
+    );
+
+    let serial = run(0, &dataset);
+    let prefetched = run(DEPTH, &dataset);
+
+    let serial_wall = functional_wall(&serial);
+    let prefetch_wall = functional_wall(&prefetched);
+    let serial_iters = iters(&serial) as f64;
+    let prefetch_iters = iters(&prefetched) as f64;
+    let serial_ips = serial_iters / serial_wall;
+    let prefetch_ips = prefetch_iters / prefetch_wall;
+    let speedup = prefetch_ips / serial_ips;
+
+    // The discrete-event pipeline model on the measured serial stage
+    // walls: the steady-state speedup this stage balance supports at
+    // depth `DEPTH` once enough cores exist to actually overlap.
+    let stage_means = WallStageTimes::mean_of(serial.iter().map(|r| &r.wall_stages));
+    let costs = PipelineStageCosts::from_wall(&stage_means);
+    let n = iters(&serial).max(2);
+    let predicted =
+        simulate_pipeline(&costs, n, 0).makespan / simulate_pipeline(&costs, n, DEPTH).makespan;
+
+    let overlap =
+        WallStageTimes::mean_of(prefetched.iter().map(|r| &r.wall_stages)).overlap_factor();
+    let restarts: usize = prefetched.iter().map(|r| r.prefetch_restarts).sum();
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"dataset\": \"{}\",\n  \"scale\": {},\n  \
+         \"cpus\": {},\n  \
+         \"epochs_measured\": {},\n  \"iters_measured\": {},\n  \"prefetch_depth\": {},\n  \
+         \"serial_iters_per_sec\": {:.4},\n  \"prefetch_iters_per_sec\": {:.4},\n  \
+         \"serial_iter_wall_s\": {:.6},\n  \"prefetch_iter_wall_s\": {:.6},\n  \
+         \"serial_stage_walls_s\": {{\"sample\": {:.6}, \"load\": {:.6}, \
+         \"transfer\": {:.6}, \"train\": {:.6}}},\n  \
+         \"speedup_vs_serial\": {:.4},\n  \"predicted_speedup\": {:.4},\n  \
+         \"overlap_factor\": {:.4},\n  \"drm_queue_restarts\": {}\n}}\n",
+        dataset.spec.name,
+        dataset.scale,
+        cpus,
+        serial.len(),
+        iters(&serial),
+        DEPTH,
+        serial_ips,
+        prefetch_ips,
+        serial_wall / serial_iters,
+        prefetch_wall / prefetch_iters,
+        stage_means.sample_s,
+        stage_means.load_s,
+        stage_means.transfer_s,
+        stage_means.train_s,
+        speedup,
+        predicted,
+        overlap,
+        restarts,
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+    eprintln!(
+        "measured {speedup:.2}x vs serial on {cpus} cpu(s); stage balance supports \
+         {predicted:.2}x at depth {DEPTH}; wrote BENCH_pipeline.json"
+    );
+}

@@ -8,8 +8,8 @@ use hyscale_bench::Table;
 use hyscale_device::fpga::resource::{ResourceUsage, U250_RESOURCES};
 use hyscale_device::spec::ALVEO_U250;
 use hyscale_device::timing::{FpgaTiming, TrainerTiming};
-use hyscale_sampler::expected_workload;
 use hyscale_graph::dataset::OGBN_PAPERS100M;
+use hyscale_sampler::expected_workload;
 
 fn main() {
     println!("FPGA kernel design space (papers100M, GCN, batch 1024, fanout (25,10))\n");
@@ -17,7 +17,15 @@ fn main() {
     let stats = expected_workload(ds.num_vertices, ds.avg_degree(), 1024, &[25, 10]);
     let dims = [ds.f0, 256, ds.f2];
 
-    let mut t = Table::new(&["(n, m)", "DSP", "LUT", "fits", "agg (ms)", "upd (ms)", "prop (ms)"]);
+    let mut t = Table::new(&[
+        "(n, m)",
+        "DSP",
+        "LUT",
+        "fits",
+        "agg (ms)",
+        "upd (ms)",
+        "prop (ms)",
+    ]);
     for &(n, m) in &[
         (2usize, 512usize),
         (4, 1024),

@@ -54,7 +54,10 @@ fn main() {
         cfg.train.transfer_precision = p;
         let mut trainer = HybridTrainer::new(cfg, dataset);
         trainer.train_epochs(6);
-        acc_table.row(vec![format!("{p:?}"), format!("{:.3}", trainer.evaluate(&test))]);
+        acc_table.row(vec![
+            format!("{p:?}"),
+            format!("{:.3}", trainer.evaluate(&test)),
+        ]);
     }
     acc_table.print();
 

@@ -8,9 +8,9 @@
 //! mini-batches, plus kernel-launch and flush overheads — the paper's
 //! §VI-C error sources. The paper reports 5–14 % average error.
 
+use hyscale_bench::Table;
 use hyscale_core::config::AcceleratorKind;
 use hyscale_core::{HybridTrainer, PerfModel, SystemConfig};
-use hyscale_bench::Table;
 use hyscale_gnn::GnnKind;
 use hyscale_graph::dataset::MAG240M_HOMO;
 use hyscale_graph::features::Splits;

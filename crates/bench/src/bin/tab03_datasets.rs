@@ -9,7 +9,15 @@ use hyscale_graph::dataset::ALL_DATASETS;
 
 fn main() {
     println!("Table III: Statistics of the datasets and GNN-layer dimensions\n");
-    let mut t = Table::new(&["Dataset", "#Vertices", "#Edges", "f0", "f1", "f2", "avg deg"]);
+    let mut t = Table::new(&[
+        "Dataset",
+        "#Vertices",
+        "#Edges",
+        "f0",
+        "f1",
+        "f2",
+        "avg deg",
+    ]);
     for d in ALL_DATASETS {
         t.row(vec![
             d.name.to_string(),
@@ -24,7 +32,12 @@ fn main() {
     t.print();
 
     println!("\nMemory placement (motivation, paper §I):\n");
-    let mut m = Table::new(&["Dataset", "graph+features (GB)", "fits A5000 24GB", "fits U250 64GB"]);
+    let mut m = Table::new(&[
+        "Dataset",
+        "graph+features (GB)",
+        "fits A5000 24GB",
+        "fits U250 64GB",
+    ]);
     for d in ALL_DATASETS {
         m.row(vec![
             d.name.to_string(),
@@ -36,7 +49,14 @@ fn main() {
     m.print();
 
     println!("\nSynthetic stand-ins (1/4000 scale, functional runs):\n");
-    let mut s = Table::new(&["Dataset", "|V|", "|E|", "avg deg", "p50/p90/p99 deg", "clustering"]);
+    let mut s = Table::new(&[
+        "Dataset",
+        "|V|",
+        "|E|",
+        "avg deg",
+        "p50/p90/p99 deg",
+        "clustering",
+    ]);
     for d in ALL_DATASETS {
         let ds = d.materialize(4000, 42);
         let sum = hyscale_graph::stats::summarize(&ds.graph);
@@ -46,7 +66,10 @@ fn main() {
             sum.num_vertices.to_string(),
             sum.num_edges.to_string(),
             format!("{:.1} (spec {:.1})", sum.avg_degree, d.avg_degree()),
-            format!("{}/{}/{}", sum.degree_percentiles.0, sum.degree_percentiles.1, sum.degree_percentiles.2),
+            format!(
+                "{}/{}/{}",
+                sum.degree_percentiles.0, sum.degree_percentiles.1, sum.degree_percentiles.2
+            ),
             format!("{cc:.3}"),
         ]);
     }

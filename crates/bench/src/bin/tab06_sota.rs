@@ -4,7 +4,7 @@
 //! with fanout (25,10); P3 with hidden dim 32; DistDGLv2 with a 3-layer
 //! model, fanout (15,10,5). "This Work" is the CPU + 4×U250 system.
 
-use hyscale_baselines::{BaselineSystem, DistDglV2, P3, PaGraph, SotaConfig};
+use hyscale_baselines::{BaselineSystem, DistDglV2, PaGraph, SotaConfig, P3};
 use hyscale_bench::{geo_mean, simulate_epoch, Table, DRM_SETTLE_ITERS};
 use hyscale_core::config::AcceleratorKind;
 use hyscale_core::SystemConfig;
@@ -37,10 +37,7 @@ fn main() {
     let cfg = SotaConfig::pagraph();
     let theirs: Vec<f64> = datasets
         .iter()
-        .flat_map(|ds| {
-            [GnnKind::Gcn, GnnKind::GraphSage]
-                .map(|m| pagraph.epoch_time(ds, m, &cfg))
-        })
+        .flat_map(|ds| [GnnKind::Gcn, GnnKind::GraphSage].map(|m| pagraph.epoch_time(ds, m, &cfg)))
         .collect();
     let ours: Vec<f64> = datasets
         .iter()
@@ -68,8 +65,10 @@ fn main() {
         .iter()
         .map(|ds| dd.epoch_time(ds, GnnKind::GraphSage, &cfg))
         .collect();
-    let ours: Vec<f64> =
-        datasets.iter().map(|ds| this_work(ds, GnnKind::GraphSage, &cfg)).collect();
+    let ours: Vec<f64> = datasets
+        .iter()
+        .map(|ds| this_work(ds, GnnKind::GraphSage, &cfg))
+        .collect();
     let speedups: Vec<f64> = theirs.iter().zip(&ours).map(|(t, o)| t / o).collect();
     t.row(vec![
         "DistDGLv2".into(),

@@ -2,7 +2,7 @@
 //! (seconds × platform peak TFLOPS) — the efficiency comparison that
 //! removes the hardware-scale advantage of the multi-node systems.
 
-use hyscale_baselines::{BaselineSystem, DistDglV2, P3, PaGraph, SotaConfig};
+use hyscale_baselines::{BaselineSystem, DistDglV2, PaGraph, SotaConfig, P3};
 use hyscale_bench::{geo_mean, simulate_epoch, Table, DRM_SETTLE_ITERS};
 use hyscale_core::config::AcceleratorKind;
 use hyscale_core::SystemConfig;
@@ -62,7 +62,12 @@ fn main() {
         "geo-mean speedup",
     ]);
 
-    push_block(&mut t, "PaGraph", &SotaConfig::pagraph(), &PaGraph::paper_setup());
+    push_block(
+        &mut t,
+        "PaGraph",
+        &SotaConfig::pagraph(),
+        &PaGraph::paper_setup(),
+    );
     push_block(&mut t, "P3", &SotaConfig::p3(), &P3::paper_setup());
 
     // DistDGLv2 (SAGE only, as in the paper)

@@ -67,13 +67,20 @@ pub fn simulate_epoch(cfg: &SystemConfig, dataset: &DatasetSpec, drm_iters: usiz
     }
     let iter_time = objective(&times);
     let iterations = dataset.train_vertices.div_ceil(split.total as u64);
-    let flush = if cfg.opt.tfp { calib::PIPELINE_FLUSH_ITERS * iter_time } else { 0.0 };
+    let flush = if cfg.opt.tfp {
+        calib::PIPELINE_FLUSH_ITERS * iter_time
+    } else {
+        0.0
+    };
     let epoch = iterations as f64 * iter_time + flush;
     // Eq. 5 numerator: edges traversed per iteration
     let edges: u64 = {
         let cpu = pm.analytic_workload(dataset, split.cpu_quota);
         let accel: u64 = (0..split.num_accelerators)
-            .map(|i| pm.analytic_workload(dataset, split.accel_quota(i)).total_edges())
+            .map(|i| {
+                pm.analytic_workload(dataset, split.accel_quota(i))
+                    .total_edges()
+            })
             .sum();
         cpu.total_edges() + accel
     };
@@ -100,7 +107,10 @@ pub struct Table {
 impl Table {
     /// Table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).

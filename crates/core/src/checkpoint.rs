@@ -42,7 +42,11 @@ impl Checkpoint {
             total: split.total as u64,
             num_accelerators: split.num_accelerators as u64,
             sampling_on_accel: split.sampling_on_accel,
-            threads: (threads.sampler as u64, threads.loader as u64, threads.trainer as u64),
+            threads: (
+                threads.sampler as u64,
+                threads.loader as u64,
+                threads.trainer as u64,
+            ),
         }
     }
 
@@ -99,7 +103,10 @@ impl Checkpoint {
             *v = u64::from_le_bytes(buf);
         }
         if u64s[0] != CKPT_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale checkpoint"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a hyscale checkpoint",
+            ));
         }
         r.read_exact(&mut buf)?;
         let sampling_on_accel = f64::from_le_bytes(buf);
@@ -139,7 +146,11 @@ mod tests {
     fn checkpoint() -> Checkpoint {
         let mut split = WorkloadSplit::new(300, 2048, 4);
         split.sampling_on_accel = 0.75;
-        let threads = ThreadAlloc { sampler: 20, loader: 30, trainer: 78 };
+        let threads = ThreadAlloc {
+            sampler: 20,
+            loader: 30,
+            trainer: 78,
+        };
         Checkpoint::capture(7, vec![1.0, -2.5, 0.125], &split, &threads)
     }
 
@@ -165,7 +176,7 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        let buf = vec![7u8; 100];
+        let buf = [7u8; 100];
         assert!(Checkpoint::read(&buf[..]).is_err());
     }
 

@@ -123,22 +123,38 @@ pub struct OptFlags {
 impl OptFlags {
     /// Everything on — the full HyScale-GNN system.
     pub fn full() -> Self {
-        Self { hybrid: true, drm: true, tfp: true }
+        Self {
+            hybrid: true,
+            drm: true,
+            tfp: true,
+        }
     }
 
     /// Pure offload baseline (Fig. 11 "Baseline").
     pub fn baseline() -> Self {
-        Self { hybrid: false, drm: false, tfp: false }
+        Self {
+            hybrid: false,
+            drm: false,
+            tfp: false,
+        }
     }
 
     /// Hybrid with static mapping (Fig. 11 "Hybrid (Static)").
     pub fn hybrid_static() -> Self {
-        Self { hybrid: true, drm: false, tfp: false }
+        Self {
+            hybrid: true,
+            drm: false,
+            tfp: false,
+        }
     }
 
     /// Hybrid + DRM, no prefetching (Fig. 11 "Hybrid+DRM").
     pub fn hybrid_drm() -> Self {
-        Self { hybrid: true, drm: true, tfp: false }
+        Self {
+            hybrid: true,
+            drm: true,
+            tfp: false,
+        }
     }
 }
 
@@ -189,6 +205,14 @@ pub struct TrainConfig {
     /// really quantized/dequantized in the functional path, so accuracy
     /// effects are measurable.
     pub transfer_precision: Precision,
+    /// Task-level Feature Prefetching depth `d` (paper §IV-B) for the
+    /// *real* executor pipeline: how many iterations of sampled +
+    /// gathered mini-batches the background producer may run ahead of
+    /// GNN propagation. `0` executes every stage serially on the
+    /// consumer thread. Any depth produces bitwise-identical training
+    /// to `0` — prefetching is pure wall-clock overlap (enforced by
+    /// `tests/equivalence.rs`).
+    pub prefetch_depth: usize,
 }
 
 impl TrainConfig {
@@ -204,6 +228,7 @@ impl TrainConfig {
             seed: 42,
             max_functional_iters: Some(8),
             transfer_precision: Precision::F32,
+            prefetch_depth: 2,
         }
     }
 

@@ -38,7 +38,12 @@ impl WorkloadSplit {
     pub fn new(cpu_quota: usize, total: usize, num_accelerators: usize) -> Self {
         assert!(num_accelerators > 0, "need at least one accelerator");
         assert!(cpu_quota <= total, "cpu quota exceeds total batch");
-        Self { cpu_quota, total, num_accelerators, sampling_on_accel: 0.0 }
+        Self {
+            cpu_quota,
+            total,
+            num_accelerators,
+            sampling_on_accel: 0.0,
+        }
     }
 
     /// Seeds assigned to accelerator `i` (even split, remainder to the
@@ -99,7 +104,11 @@ impl ThreadAlloc {
         let sampler = (total / 4).max(1);
         let loader = (total / 4).max(1);
         let trainer = total - sampler - loader;
-        Self { sampler, loader, trainer }
+        Self {
+            sampler,
+            loader,
+            trainer,
+        }
     }
 
     /// Total allocated threads.
@@ -165,7 +174,11 @@ pub struct DrmEngine {
 impl DrmEngine {
     /// Engine with the default 5 % work step.
     pub fn new(hybrid: bool) -> Self {
-        Self { work_step: 0.05, sampling_step: 0.1, hybrid }
+        Self {
+            work_step: 0.05,
+            sampling_step: 0.1,
+            hybrid,
+        }
     }
 
     /// One Algorithm 1 decision: inspect `times`, mutate `split` /
@@ -229,7 +242,9 @@ impl DrmEngine {
                 if moved == 0 {
                     DrmAction::None
                 } else {
-                    DrmAction::BalanceWork { to_cpu: moved as isize }
+                    DrmAction::BalanceWork {
+                        to_cpu: moved as isize,
+                    }
                 }
             }
             // line 15: loader bottleneck -> re-assign threads from the
@@ -272,7 +287,9 @@ impl DrmEngine {
                     if moved == 0 {
                         DrmAction::None
                     } else {
-                        DrmAction::BalanceWork { to_cpu: -(moved as isize) }
+                        DrmAction::BalanceWork {
+                            to_cpu: -(moved as isize),
+                        }
                     }
                 };
                 if accel_trainer_fast {
@@ -291,12 +308,7 @@ impl DrmEngine {
 
     /// `balance_thread`: donate one thread from the fastest CPU task
     /// (that is not the bottleneck and still has threads to spare).
-    fn steal_thread(
-        &self,
-        times: &StageTimes,
-        threads: &mut ThreadAlloc,
-        to: Stage,
-    ) -> DrmAction {
+    fn steal_thread(&self, times: &StageTimes, threads: &mut ThreadAlloc, to: Stage) -> DrmAction {
         let cpu_tasks = [
             (Stage::SampleCpu, times.sample_cpu),
             (Stage::Load, times.load),
@@ -386,13 +398,20 @@ mod tests {
     fn loader_bottleneck_steals_thread_from_fastest_cpu_task() {
         let engine = DrmEngine::new(true);
         let mut s = split();
-        let mut th = ThreadAlloc { sampler: 10, loader: 10, trainer: 44 };
+        let mut th = ThreadAlloc {
+            sampler: 10,
+            loader: 10,
+            trainer: 44,
+        };
         // CPU sampler is fastest CPU task
         let t = times(0.05, 0.2, 3.0, 1.0, 0.5, 0.5);
         let action = engine.adjust(&t, &mut s, &mut th);
         assert_eq!(
             action,
-            DrmAction::BalanceThread { from: Stage::SampleCpu, to: Stage::Load }
+            DrmAction::BalanceThread {
+                from: Stage::SampleCpu,
+                to: Stage::Load
+            }
         );
         assert_eq!(th.sampler, 9);
         assert_eq!(th.loader, 11);
@@ -427,13 +446,20 @@ mod tests {
     fn cpu_sampler_bottleneck_without_fast_accel_steals_threads() {
         let engine = DrmEngine::new(true);
         let mut s = split();
-        let mut th = ThreadAlloc { sampler: 4, loader: 20, trainer: 40 };
+        let mut th = ThreadAlloc {
+            sampler: 4,
+            loader: 20,
+            trainer: 40,
+        };
         // fastest = Load (a CPU task): expect thread steal toward sampler
         let t = times(3.0, 2.9, 0.01, 0.5, 2.5, 2.5);
         let action = engine.adjust(&t, &mut s, &mut th);
         assert_eq!(
             action,
-            DrmAction::BalanceThread { from: Stage::Load, to: Stage::SampleCpu }
+            DrmAction::BalanceThread {
+                from: Stage::Load,
+                to: Stage::SampleCpu
+            }
         );
         assert_eq!(th.sampler, 5);
     }

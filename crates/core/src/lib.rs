@@ -15,10 +15,15 @@
 //! * [`perf_model`] — the design-time performance model (paper §V,
 //!   Eq. 5–13) used for the initial task mapping and the scalability
 //!   study.
+//! * [`prefetch`] — Task-level Feature Prefetching as a *real*
+//!   pipeline (paper §IV-B): a background producer samples, gathers and
+//!   precision-round-trips iterations into a bounded queue, overlapped
+//!   with GNN propagation, with pool-recycled feature buffers and
+//!   DRM-aware queue invalidation.
 //! * [`executor`] — the hybrid trainer: 4-stage pipeline (Sampling →
 //!   Feature Loading → Data Transfer → GNN Propagation) with Two-stage
 //!   Feature Prefetching (paper §IV-B), functional training plus
-//!   simulated device timing.
+//!   simulated device timing and measured per-stage wall-clock.
 //!
 //! The [`executor::HybridTrainer`] is the public entry point; see the
 //! workspace `examples/` for end-to-end usage.
@@ -32,6 +37,7 @@ pub mod executor;
 pub mod metrics;
 pub mod perf_model;
 pub mod pipeline;
+pub mod prefetch;
 pub mod protocol;
 pub mod report;
 pub mod stages;
@@ -41,5 +47,6 @@ pub use config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainC
 pub use drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
 pub use executor::HybridTrainer;
 pub use perf_model::PerfModel;
-pub use report::{EpochReport, IterationReport};
+pub use prefetch::MatrixPool;
+pub use report::{EpochReport, IterationReport, WallStageTimes};
 pub use stages::StageTimes;

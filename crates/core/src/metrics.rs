@@ -45,9 +45,10 @@ impl TrainingHistory {
 
     /// Best (maximum) validation accuracy so far.
     pub fn best_val_accuracy(&self) -> Option<f32> {
-        self.val_accuracy.iter().copied().fold(None, |best, v| {
-            Some(best.map_or(v, |b: f32| b.max(v)))
-        })
+        self.val_accuracy
+            .iter()
+            .copied()
+            .fold(None, |best, v| Some(best.map_or(v, |b: f32| b.max(v))))
     }
 
     /// Trailing mean of the last `k` losses.
@@ -80,7 +81,12 @@ pub struct EarlyStopping {
 impl EarlyStopping {
     /// Stop after `patience` epochs without ≥ `min_delta` improvement.
     pub fn new(patience: usize, min_delta: f32) -> Self {
-        Self { patience, min_delta, best: f32::NEG_INFINITY, since_best: 0 }
+        Self {
+            patience,
+            min_delta,
+            best: f32::NEG_INFINITY,
+            since_best: 0,
+        }
     }
 
     /// Record an epoch's validation metric; returns `true` when training
@@ -117,6 +123,9 @@ mod tests {
             accuracy: acc,
             mteps: 10.0,
             wall_s: 0.1,
+            wall_stages: crate::report::WallStageTimes::default(),
+            prefetch_depth: 0,
+            prefetch_restarts: 0,
             trace: Vec::new(),
         }
     }

@@ -57,7 +57,11 @@ pub fn compute_stage_times(
 
     // --- Sampling (T_SC, T_SA): total sampled edges split by share ---
     let total_edges: u64 = inputs.cpu_stats.total_edges()
-        + inputs.accel_stats.iter().map(WorkloadStats::total_edges).sum::<u64>();
+        + inputs
+            .accel_stats
+            .iter()
+            .map(WorkloadStats::total_edges)
+            .sum::<u64>();
     let accel_edges = (total_edges as f64 * inputs.sampling_on_accel) as u64;
     let cpu_edges = total_edges - accel_edges;
     let sample_cpu = sampler.sample_time(cpu_edges, threads.sampler);
@@ -94,14 +98,21 @@ pub fn compute_stage_times(
         threads.trainer.max(1),
         platform.total_threads,
     );
-    let cpu_stack = if include_overheads { platform.accelerator.cpu_stack_overhead() } else { 0.0 };
+    let cpu_stack = if include_overheads {
+        platform.accelerator.cpu_stack_overhead()
+    } else {
+        0.0
+    };
     let train_cpu = if inputs.cpu_stats.batch_size == 0 {
         0.0
     } else {
-        cpu_timing.propagation_time(inputs.cpu_stats, inputs.dims, inputs.width_factor)
-            + cpu_stack
+        cpu_timing.propagation_time(inputs.cpu_stats, inputs.dims, inputs.width_factor) + cpu_stack
     };
-    let launch = if include_overheads { accel_timing.launch_overhead() } else { 0.0 };
+    let launch = if include_overheads {
+        accel_timing.launch_overhead()
+    } else {
+        0.0
+    };
     let train_accel = inputs
         .accel_stats
         .iter()
@@ -117,7 +128,15 @@ pub fn compute_stage_times(
     // --- Synchronization (Eq. 13) ---
     let sync = platform.pcie.allreduce_time(inputs.model_bytes);
 
-    StageTimes { sample_cpu, sample_accel, load, transfer, train_cpu, train_accel, sync }
+    StageTimes {
+        sample_cpu,
+        sample_accel,
+        load,
+        transfer,
+        train_cpu,
+        train_accel,
+        sync,
+    }
 }
 
 /// The design-time performance model.
@@ -130,7 +149,11 @@ pub struct PerfModel {
 impl PerfModel {
     /// Model for a system configuration.
     pub fn new(cfg: &SystemConfig) -> Self {
-        Self { platform: cfg.platform.clone(), train: cfg.train.clone(), opt: cfg.opt }
+        Self {
+            platform: cfg.platform.clone(),
+            train: cfg.train.clone(),
+            opt: cfg.opt,
+        }
     }
 
     /// Expected per-batch workload for `quota` seeds on `dataset`
@@ -139,7 +162,12 @@ impl PerfModel {
         if quota == 0 {
             return WorkloadStats::zero(self.train.fanouts.len());
         }
-        expected_workload(dataset.num_vertices, dataset.avg_degree(), quota, &self.train.fanouts)
+        expected_workload(
+            dataset.num_vertices,
+            dataset.avg_degree(),
+            quota,
+            &self.train.fanouts,
+        )
     }
 
     /// Model layer dims for `dataset`.
@@ -274,9 +302,8 @@ impl PerfModel {
     pub fn settled_mapping(&self, dataset: &DatasetSpec) -> (WorkloadSplit, ThreadAlloc) {
         let (mut split, mut threads) = self.initial_mapping(dataset);
         let drm = crate::drm::DrmEngine::new(self.opt.hybrid);
-        let objective = |pm: &PerfModel, s: &WorkloadSplit, th: &ThreadAlloc| {
-            pm.iteration_time(dataset, s, th)
-        };
+        let objective =
+            |pm: &PerfModel, s: &WorkloadSplit, th: &ThreadAlloc| pm.iteration_time(dataset, s, th);
         let mut best = (objective(self, &split, &threads), split.clone(), threads);
         for _ in 0..60 {
             let t = self.stage_times(dataset, &split, &threads);
@@ -303,7 +330,10 @@ impl PerfModel {
         let (split, threads) = self.settled_mapping(dataset);
         let cpu = self.analytic_workload(dataset, split.cpu_quota);
         let accel: u64 = (0..split.num_accelerators)
-            .map(|i| self.analytic_workload(dataset, split.accel_quota(i)).total_edges())
+            .map(|i| {
+                self.analytic_workload(dataset, split.accel_quota(i))
+                    .total_edges()
+            })
             .sum();
         let edges = cpu.total_edges() + accel;
         edges as f64 / self.iteration_time(dataset, &split, &threads) / 1e6
@@ -317,7 +347,11 @@ impl PerfModel {
         let tput = |n: usize| {
             let mut cfg = self.platform.clone();
             cfg.num_accelerators = n;
-            let model = PerfModel { platform: cfg, train: self.train.clone(), opt: self.opt };
+            let model = PerfModel {
+                platform: cfg,
+                train: self.train.clone(),
+                opt: self.opt,
+            };
             model.throughput_mteps(dataset)
         };
         let base = tput(1);
@@ -330,8 +364,7 @@ impl PerfModel {
         let (split, threads) = self.settled_mapping(dataset);
         let iters = dataset.train_vertices.div_ceil(split.total as u64);
         let launch = self.platform.accelerator.timing().launch_overhead();
-        let flush = calib::PIPELINE_FLUSH_ITERS
-            * self.iteration_time(dataset, &split, &threads);
+        let flush = calib::PIPELINE_FLUSH_ITERS * self.iteration_time(dataset, &split, &threads);
         iters as f64 * launch + flush
     }
 }
@@ -388,7 +421,10 @@ mod tests {
         let products = pm.predict_epoch_time(&OGBN_PRODUCTS);
         let papers = pm.predict_epoch_time(&OGBN_PAPERS100M);
         // papers100M has ~6x the train vertices and wider features
-        assert!(papers > 2.0 * products, "papers {papers} vs products {products}");
+        assert!(
+            papers > 2.0 * products,
+            "papers {papers} vs products {products}"
+        );
     }
 
     #[test]
@@ -413,7 +449,9 @@ mod tests {
         // include runtime overheads for the honest per-iteration compare
         let f_times = {
             let cpu = fpga.analytic_workload(&OGBN_PAPERS100M, fs.cpu_quota);
-            let acc: Vec<_> = (0..4).map(|i| fpga.analytic_workload(&OGBN_PAPERS100M, fs.accel_quota(i))).collect();
+            let acc: Vec<_> = (0..4)
+                .map(|i| fpga.analytic_workload(&OGBN_PAPERS100M, fs.accel_quota(i)))
+                .collect();
             let dims = fpga.dims(&OGBN_PAPERS100M);
             compute_stage_times(
                 &fpga.platform,
@@ -432,7 +470,9 @@ mod tests {
         };
         let g_times = {
             let cpu = gpu.analytic_workload(&OGBN_PAPERS100M, gs.cpu_quota);
-            let acc: Vec<_> = (0..4).map(|i| gpu.analytic_workload(&OGBN_PAPERS100M, gs.accel_quota(i))).collect();
+            let acc: Vec<_> = (0..4)
+                .map(|i| gpu.analytic_workload(&OGBN_PAPERS100M, gs.accel_quota(i)))
+                .collect();
             let dims = gpu.dims(&OGBN_PAPERS100M);
             compute_stage_times(
                 &gpu.platform,
@@ -495,6 +535,9 @@ mod tests {
         let pm = PerfModel::new(&fpga_cfg(GnnKind::Gcn));
         let epoch = pm.predict_epoch_time(&MAG240M_HOMO);
         let overhead = pm.unmodelled_epoch_overhead(&MAG240M_HOMO);
-        assert!(overhead < epoch * 0.2, "overhead {overhead} vs epoch {epoch}");
+        assert!(
+            overhead < epoch * 0.2,
+            "overhead {overhead} vs epoch {epoch}"
+        );
     }
 }

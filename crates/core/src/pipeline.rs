@@ -37,6 +37,20 @@ impl PipelineStageCosts {
         }
     }
 
+    /// Extract pipeline costs from *measured host wall-clock* stage
+    /// times (see [`crate::report::WallStageTimes`]). This lets the
+    /// discrete-event simulator predict what the real prefetching
+    /// executor should achieve at a given depth — the bench harness
+    /// compares that prediction against the measured epoch wall.
+    pub fn from_wall(w: &crate::report::WallStageTimes) -> Self {
+        Self {
+            sample: w.sample_s,
+            load: w.load_s,
+            transfer: w.transfer_s,
+            propagate: w.train_s,
+        }
+    }
+
     fn as_array(&self) -> [f64; 4] {
         [self.sample, self.load, self.transfer, self.propagate]
     }
@@ -68,7 +82,12 @@ pub struct PipelineRun {
 /// (`depth = 0` serializes everything — the no-TFP configuration;
 /// `depth = 1` is classic double buffering; the paper's two-stage scheme
 /// is `depth ≥ 2`).
-pub fn simulate_pipeline(costs: &PipelineStageCosts, iterations: usize, depth: usize) -> PipelineRun {
+#[allow(clippy::needless_range_loop)] // gate reads finished[i - depth - 1]
+pub fn simulate_pipeline(
+    costs: &PipelineStageCosts,
+    iterations: usize,
+    depth: usize,
+) -> PipelineRun {
     assert!(iterations > 0, "need at least one iteration");
     let stage_costs = costs.as_array();
     let stages = stage_costs.len();
@@ -92,7 +111,11 @@ pub fn simulate_pipeline(costs: &PipelineStageCosts, iterations: usize, depth: u
         }
     } else {
         for i in 0..iterations {
-            let gate = if i > depth { finished[i - depth - 1] } else { 0.0 };
+            let gate = if i > depth {
+                finished[i - depth - 1]
+            } else {
+                0.0
+            };
             let mut batch_ready = gate;
             for (s, &cost) in stage_costs.iter().enumerate() {
                 let start = batch_ready.max(stage_free[s]);
@@ -110,7 +133,11 @@ pub fn simulate_pipeline(costs: &PipelineStageCosts, iterations: usize, depth: u
     } else {
         completions[0]
     };
-    PipelineRun { makespan: completions[iterations - 1], completions, steady_gap }
+    PipelineRun {
+        makespan: completions[iterations - 1],
+        completions,
+        steady_gap,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +145,12 @@ mod tests {
     use super::*;
 
     fn costs(sample: f64, load: f64, transfer: f64, propagate: f64) -> PipelineStageCosts {
-        PipelineStageCosts { sample, load, transfer, propagate }
+        PipelineStageCosts {
+            sample,
+            load,
+            transfer,
+            propagate,
+        }
     }
 
     #[test]
@@ -173,7 +205,10 @@ mod tests {
         let c = costs(1.0, 1.5, 2.0, 2.5);
         let serial = simulate_pipeline(&c, 20, 0).makespan;
         let piped = simulate_pipeline(&c, 20, 2).makespan;
-        assert!(piped < serial * 0.5, "pipelining too weak: {piped} vs {serial}");
+        assert!(
+            piped < serial * 0.5,
+            "pipelining too weak: {piped} vs {serial}"
+        );
     }
 
     #[test]
@@ -201,6 +236,23 @@ mod tests {
         assert_eq!(c.transfer, 4.0);
         assert_eq!(c.propagate, 6.5);
         assert_eq!(c.bottleneck(), 6.5);
+    }
+
+    #[test]
+    fn from_wall_maps_measured_stages() {
+        let w = crate::report::WallStageTimes {
+            sample_s: 0.5,
+            load_s: 1.5,
+            transfer_s: 0.25,
+            train_s: 2.0,
+            iter_s: 4.25,
+        };
+        let c = PipelineStageCosts::from_wall(&w);
+        assert_eq!(c.sample, 0.5);
+        assert_eq!(c.load, 1.5);
+        assert_eq!(c.transfer, 0.25);
+        assert_eq!(c.propagate, 2.0);
+        assert!((c.serial() - w.serial_sum()).abs() < 1e-12);
     }
 
     #[test]

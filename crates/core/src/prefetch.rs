@@ -1,0 +1,540 @@
+//! Task-level Feature Prefetching — the *real* pipeline.
+//!
+//! The paper's headline optimization (§IV-B, Fig. 7) overlaps the
+//! CPU-side producer stages — Mini-batch Sampling, Feature Loading, and
+//! the wire-precision round-trip standing in for Data Transfer — with
+//! GNN Propagation. [`crate::pipeline`] *simulates* that overlap with a
+//! discrete-event model; this module *executes* it: a background
+//! producer thread walks the epoch's batch plan, prepares iterations,
+//! and feeds them through a bounded channel of depth `d`
+//! (`TrainConfig::prefetch_depth`) to the consuming trainer.
+//!
+//! ## Determinism contract
+//!
+//! A prepared iteration is a pure function of `(epoch_order, epoch,
+//! iter, quotas)`: seed slicing comes from
+//! [`EpochBatcher::plan`](hyscale_sampler::EpochBatcher) and every
+//! sampler draw is keyed by `(seed, epoch, iter, trainer)` streams, so a
+//! batch prepared three iterations ahead on a worker thread is
+//! bitwise-identical to one prepared inline. The one hazard is the DRM
+//! engine re-balancing `quotas` mid-epoch: prepared iterations carry the
+//! quotas they were built under, and [`IterationFeed`] drains and
+//! invalidates the queue (restarting the producer with the new quotas)
+//! whenever they disagree with what the consumer currently wants —
+//! `tests/equivalence.rs` pins weights bitwise across depths {0, 1, 2,
+//! 4} including across re-mapping events.
+//!
+//! ## Allocation discipline
+//!
+//! Feature matrices cycle through a [`MatrixPool`]: the producer gathers
+//! into recycled buffers (`gather_features_into` + in-place precision
+//! round-trip) and the consumer returns them after propagation, so
+//! steady-state iterations perform zero feature-matrix allocations.
+
+use hyscale_graph::features::gather_features_into;
+use hyscale_graph::Dataset;
+use hyscale_sampler::{EpochBatcher, MiniBatch, NeighborSampler};
+use hyscale_tensor::{Matrix, Precision};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A recycling pool of feature-matrix buffers shared between the
+/// producer thread and the consuming trainer.
+#[derive(Default)]
+pub struct MatrixPool {
+    free: Mutex<Vec<Matrix>>,
+}
+
+impl MatrixPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer (arbitrary shape/contents) or mint an empty one.
+    /// Callers must `resize`/overwrite before reading — `gather_features_into`
+    /// does both.
+    pub fn acquire(&self) -> Matrix {
+        self.free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Matrix::uninit(0, 0))
+    }
+
+    /// Return a buffer for reuse.
+    pub fn release(&self, m: Matrix) {
+        self.free.lock().push(m);
+    }
+
+    /// Number of buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// Everything the producer needs to prepare iterations without touching
+/// the trainer's mutable state.
+pub struct PrepareCtx {
+    /// Shared dataset (graph + CPU-resident features + labels).
+    pub dataset: Arc<Dataset>,
+    /// Epoch seed scheduler (pure slicing; cheap clone of the trainer's).
+    pub batcher: EpochBatcher,
+    /// Seeded neighbor sampler (streams keyed per (epoch, iter, trainer)).
+    pub sampler: NeighborSampler,
+    /// Wire precision applied to accelerator-bound feature matrices.
+    pub precision: Precision,
+    /// Whether trainer 0 is the CPU trainer (reads host memory directly,
+    /// skipping the precision round-trip).
+    pub hybrid: bool,
+}
+
+/// One fully-prepared training iteration: sampled mini-batches plus
+/// gathered (and precision-round-tripped) feature matrices, with the
+/// producer-side wall-clock stage timings.
+pub struct PreparedIteration {
+    /// Iteration index within the epoch.
+    pub iter: usize,
+    /// The per-trainer seed quotas this iteration was prepared under —
+    /// the consumer validates these against the live workload split.
+    pub quotas: Vec<usize>,
+    /// Per-trainer seed sets (empty for idle trainers).
+    pub seed_sets: Vec<Vec<u32>>,
+    /// Per-trainer sampled mini-batches (`None` for idle trainers).
+    pub batches: Vec<Option<MiniBatch>>,
+    /// Per-trainer gathered feature matrices, pool-backed.
+    pub features: Vec<Option<Matrix>>,
+    /// Wall-clock seconds spent sampling.
+    pub sample_wall_s: f64,
+    /// Wall-clock seconds spent gathering features.
+    pub load_wall_s: f64,
+    /// Wall-clock seconds spent in the precision round-trip (the
+    /// functional stand-in for the PCIe transfer).
+    pub transfer_wall_s: f64,
+}
+
+impl PreparedIteration {
+    /// Return every pooled buffer for reuse.
+    pub fn recycle(self, pool: &MatrixPool) {
+        for m in self.features.into_iter().flatten() {
+            pool.release(m);
+        }
+    }
+}
+
+/// Prepare iteration `iter` of `epoch`: slice seeds under `quotas`,
+/// sample one mini-batch per non-idle trainer, gather features into
+/// pooled buffers, and round-trip accelerator-bound matrices at the wire
+/// precision. Returns `None` once the epoch's seeds are exhausted.
+///
+/// This is the single implementation of the producer stages — the
+/// serial (`depth = 0`) and pipelined paths both call it, which is what
+/// makes them bitwise-identical by construction.
+pub fn prepare_iteration(
+    ctx: &PrepareCtx,
+    order: &[u32],
+    epoch: u64,
+    iter: usize,
+    quotas: &[usize],
+    pool: &MatrixPool,
+) -> Option<PreparedIteration> {
+    let (plan_iter, seed_sets) = ctx.batcher.plan(order, iter, quotas).next()?;
+    debug_assert_eq!(plan_iter, iter);
+
+    // --- Sampling: n mini-batches, one per (non-empty) trainer ---
+    let sample_start = Instant::now();
+    let stream_base = epoch.wrapping_mul(1 << 20) + iter as u64 * 64;
+    let seed_refs: Vec<&[u32]> = seed_sets.iter().map(|s| s.as_slice()).collect();
+    let batches: Vec<Option<MiniBatch>> = {
+        let non_empty: Vec<&[u32]> = seed_refs
+            .iter()
+            .copied()
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut sampled = ctx
+            .sampler
+            .sample_many(&ctx.dataset.graph, &non_empty, stream_base)
+            .into_iter();
+        seed_refs
+            .iter()
+            .map(|s| if s.is_empty() { None } else { sampled.next() })
+            .collect()
+    };
+    let sample_wall_s = sample_start.elapsed().as_secs_f64();
+
+    // --- Feature Loading into pooled buffers; accelerator batches
+    // additionally pass through the wire-precision round-trip (identity
+    // at F32; the §VIII quantization extension) ---
+    let cpu_trainer_idx = if ctx.hybrid { Some(0) } else { None };
+    let mut load_wall_s = 0.0;
+    let mut transfer_wall_s = 0.0;
+    let features: Vec<Option<Matrix>> = batches
+        .iter()
+        .enumerate()
+        .map(|(idx, b)| {
+            b.as_ref().map(|mb| {
+                let load_start = Instant::now();
+                let mut x = pool.acquire();
+                gather_features_into(&mut x, &ctx.dataset.data.features, &mb.input_nodes);
+                load_wall_s += load_start.elapsed().as_secs_f64();
+                if Some(idx) != cpu_trainer_idx {
+                    let transfer_start = Instant::now();
+                    ctx.precision.round_trip_in_place(&mut x);
+                    transfer_wall_s += transfer_start.elapsed().as_secs_f64();
+                }
+                x
+            })
+        })
+        .collect();
+
+    Some(PreparedIteration {
+        iter,
+        quotas: quotas.to_vec(),
+        seed_sets,
+        batches,
+        features,
+        sample_wall_s,
+        load_wall_s,
+        transfer_wall_s,
+    })
+}
+
+/// Handle to one background producer run (one contiguous span of
+/// iterations under fixed quotas).
+struct Prefetcher {
+    rx: Receiver<PreparedIteration>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn a producer covering `start_iter..end_iter` under `quotas`,
+    /// buffering at most `depth` prepared iterations.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn(
+        ctx: Arc<PrepareCtx>,
+        order: Arc<Vec<u32>>,
+        epoch: u64,
+        start_iter: usize,
+        end_iter: usize,
+        quotas: Vec<usize>,
+        depth: usize,
+        pool: Arc<MatrixPool>,
+    ) -> Self {
+        let (tx, rx) = sync_channel(depth.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("hyscale-prefetch".into())
+            .spawn(move || {
+                for iter in start_iter..end_iter {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match prepare_iteration(&ctx, &order, epoch, iter, &quotas, &pool) {
+                        // A closed channel means the consumer moved on;
+                        // recycle the rejected iteration's buffers so a
+                        // restart doesn't force fresh allocations.
+                        Some(prep) => {
+                            if let Err(rejected) = tx.send(prep) {
+                                rejected.0.recycle(&pool);
+                                break;
+                            }
+                        }
+                        None => break, // epoch seeds exhausted
+                    }
+                }
+            })
+            .expect("spawn prefetch producer");
+        Self {
+            rx,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Blocking receive; `None` when the producer finished the epoch.
+    fn recv(&self) -> Option<PreparedIteration> {
+        self.rx.recv().ok()
+    }
+
+    /// Stop the producer, recycling every buffered iteration.
+    fn shutdown(mut self, pool: &MatrixPool) {
+        self.stop.store(true, Ordering::Release);
+        // Drain whatever is buffered so a producer blocked on a full
+        // channel can complete its send, observe `stop`, and exit.
+        while let Ok(prep) = self.rx.try_recv() {
+            prep.recycle(pool);
+        }
+        // Close the channel: any in-flight send now errors out (the
+        // producer recycles the rejected iteration's buffers itself).
+        drop(self.rx);
+        if let Some(h) = self.handle.take() {
+            // Bounded wait: at most one in-flight prepare_iteration —
+            // the same work the consumer would do inline anyway before
+            // it can proceed under the new quotas.
+            let _ = h.join();
+        }
+    }
+}
+
+/// The executor's iteration source: serial preparation at `depth = 0`,
+/// a background producer pipeline otherwise. Transparently restarts the
+/// producer when the consumer's quotas change (DRM re-mapping).
+pub struct IterationFeed {
+    ctx: Arc<PrepareCtx>,
+    order: Arc<Vec<u32>>,
+    epoch: u64,
+    end_iter: usize,
+    depth: usize,
+    pool: Arc<MatrixPool>,
+    pipeline: Option<Prefetcher>,
+    restarts: usize,
+}
+
+impl IterationFeed {
+    /// Create the feed for one epoch, spawning the producer at iteration
+    /// 0 when `depth > 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ctx: Arc<PrepareCtx>,
+        order: Arc<Vec<u32>>,
+        epoch: u64,
+        end_iter: usize,
+        depth: usize,
+        pool: Arc<MatrixPool>,
+        initial_quotas: Vec<usize>,
+    ) -> Self {
+        let mut feed = Self {
+            ctx,
+            order,
+            epoch,
+            end_iter,
+            depth,
+            pool,
+            pipeline: None,
+            restarts: 0,
+        };
+        if depth > 0 {
+            feed.pipeline = Some(feed.spawn_at(0, initial_quotas));
+        }
+        feed
+    }
+
+    fn spawn_at(&self, start_iter: usize, quotas: Vec<usize>) -> Prefetcher {
+        Prefetcher::spawn(
+            Arc::clone(&self.ctx),
+            Arc::clone(&self.order),
+            self.epoch,
+            start_iter,
+            self.end_iter,
+            quotas,
+            self.depth,
+            Arc::clone(&self.pool),
+        )
+    }
+
+    /// Obtain iteration `iter` prepared under exactly `quotas`.
+    /// Returns `None` once the epoch's seeds are exhausted.
+    pub fn obtain(&mut self, iter: usize, quotas: &[usize]) -> Option<PreparedIteration> {
+        if self.depth == 0 {
+            return prepare_iteration(&self.ctx, &self.order, self.epoch, iter, quotas, &self.pool);
+        }
+        loop {
+            let prep = self.pipeline.as_ref().expect("pipeline alive").recv();
+            match prep {
+                Some(prep) if prep.iter == iter && prep.quotas == quotas => return Some(prep),
+                Some(stale) => {
+                    // Produced under an outdated plan (missed DRM event or
+                    // an out-of-band `set_mapping`): invalidate and redo.
+                    stale.recycle(&self.pool);
+                    self.restart(iter, quotas.to_vec());
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Proactively restart the producer at `next_iter` under new
+    /// `quotas` — called by the executor the moment a DRM `balance_work`
+    /// decision changes the split, before the change takes effect.
+    pub fn invalidate(&mut self, next_iter: usize, quotas: Vec<usize>) {
+        if self.depth > 0 {
+            self.restart(next_iter, quotas);
+        }
+    }
+
+    fn restart(&mut self, start_iter: usize, quotas: Vec<usize>) {
+        if let Some(p) = self.pipeline.take() {
+            p.shutdown(&self.pool);
+        }
+        self.restarts += 1;
+        self.pipeline = Some(self.spawn_at(start_iter, quotas));
+    }
+
+    /// Number of producer restarts this epoch (DRM invalidations).
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Tear down the producer, recycling buffered iterations.
+    pub fn finish(mut self) {
+        if let Some(p) = self.pipeline.take() {
+            p.shutdown(&self.pool);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_tensor::init::randn;
+
+    fn ctx() -> (Arc<PrepareCtx>, Arc<Vec<u32>>) {
+        let dataset = Arc::new(Dataset::toy(5));
+        let batcher = EpochBatcher::new(dataset.splits.train.clone(), 99);
+        let order = Arc::new(batcher.epoch_order(0));
+        let ctx = PrepareCtx {
+            dataset,
+            batcher,
+            sampler: NeighborSampler::new(vec![4, 3], 17),
+            precision: Precision::F32,
+            hybrid: true,
+        };
+        (Arc::new(ctx), order)
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let pool = MatrixPool::new();
+        let mut m = pool.acquire();
+        assert_eq!(pool.idle(), 0);
+        m.resize(8, 4);
+        pool.release(m);
+        assert_eq!(pool.idle(), 1);
+        let m2 = pool.acquire();
+        assert_eq!(m2.shape(), (8, 4), "recycled buffer keeps its allocation");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn prepare_is_deterministic_and_pool_independent() {
+        let (ctx, order) = ctx();
+        let pool = MatrixPool::new();
+        let quotas = [16usize, 16, 16];
+        let a = prepare_iteration(&ctx, &order, 0, 1, &quotas, &pool).unwrap();
+        // poison the pool with stale buffers of wrong shapes
+        pool.release(randn(200, 3, 1));
+        pool.release(Matrix::full(1, 1, f32::NAN));
+        let b = prepare_iteration(&ctx, &order, 0, 1, &quotas, &pool).unwrap();
+        assert_eq!(a.seed_sets, b.seed_sets);
+        for (x, y) in a.features.iter().zip(&b.features) {
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(x.as_slice(), y.as_slice()),
+                (None, None) => {}
+                _ => panic!("feature presence diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_ends_after_epoch_exhausted() {
+        let (ctx, order) = ctx();
+        let pool = MatrixPool::new();
+        let n = order.len();
+        let quotas = [n / 2 + 1, n / 2 + 1]; // 1 iteration consumes all
+        assert!(prepare_iteration(&ctx, &order, 0, 0, &quotas, &pool).is_some());
+        assert!(prepare_iteration(&ctx, &order, 0, 1, &quotas, &pool).is_none());
+    }
+
+    #[test]
+    fn feed_pipelined_matches_serial() {
+        let (ctx, order) = ctx();
+        let quotas = vec![8usize, 8, 8];
+        let serial_pool = Arc::new(MatrixPool::new());
+        let mut serial = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            0,
+            Arc::clone(&serial_pool),
+            quotas.clone(),
+        );
+        let piped_pool = Arc::new(MatrixPool::new());
+        let mut piped = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            3,
+            Arc::clone(&piped_pool),
+            quotas.clone(),
+        );
+        let mut iter = 0;
+        loop {
+            let a = serial.obtain(iter, &quotas);
+            let b = piped.obtain(iter, &quotas);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.iter, b.iter);
+                    assert_eq!(a.seed_sets, b.seed_sets);
+                    for (x, y) in a.features.iter().zip(&b.features) {
+                        if let (Some(x), Some(y)) = (x, y) {
+                            assert_eq!(x.as_slice(), y.as_slice());
+                        }
+                    }
+                    a.recycle(&serial_pool);
+                    b.recycle(&piped_pool);
+                }
+                (None, None) => break,
+                _ => panic!("serial and pipelined feeds disagree on epoch length"),
+            }
+            iter += 1;
+        }
+        assert!(iter >= 2, "epoch too short to exercise the pipeline");
+        piped.finish();
+        serial.finish();
+    }
+
+    #[test]
+    fn feed_restarts_on_quota_change() {
+        let (ctx, order) = ctx();
+        let pool = Arc::new(MatrixPool::new());
+        let quotas = vec![8usize, 8, 8];
+        let mut feed = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            2,
+            Arc::clone(&pool),
+            quotas.clone(),
+        );
+        let first = feed.obtain(0, &quotas).expect("first iteration");
+        first.recycle(&pool);
+        // consumer re-balances: 4 seeds move from trainer 1 to trainer 0
+        let new_quotas = vec![12usize, 4, 8];
+        feed.invalidate(1, new_quotas.clone());
+        let second = feed.obtain(1, &new_quotas).expect("post-remap iteration");
+        assert_eq!(second.quotas, new_quotas);
+        assert_eq!(second.seed_sets[0].len(), 12);
+        assert_eq!(second.seed_sets[1].len(), 4);
+        // bitwise identical to preparing serially under the new quotas
+        let reference =
+            prepare_iteration(&ctx, &order, 0, 1, &new_quotas, &pool).expect("reference");
+        assert_eq!(second.seed_sets, reference.seed_sets);
+        for (x, y) in second.features.iter().zip(&reference.features) {
+            if let (Some(x), Some(y)) = (x, y) {
+                assert_eq!(x.as_slice(), y.as_slice());
+            }
+        }
+        assert!(feed.restarts() >= 1);
+        second.recycle(&pool);
+        reference.recycle(&pool);
+        feed.finish();
+    }
+}

@@ -82,7 +82,11 @@ impl TrainingRound {
         while s.done != self.n {
             self.trainer_signal.wait(&mut s);
         }
-        let parts: Vec<Gradients> = s.slots.iter_mut().map(|g| g.take().expect("gradient")).collect();
+        let parts: Vec<Gradients> = s
+            .slots
+            .iter_mut()
+            .map(|g| g.take().expect("gradient"))
+            .collect();
         let avg = Arc::new(sync.all_reduce(&parts));
         s.averaged = Some(Arc::clone(&avg));
         self.broadcast_signal.notify_all();

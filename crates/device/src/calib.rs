@@ -92,6 +92,7 @@ pub const NIC_LATENCY_S: f64 = 2e-6;
 #[cfg(test)]
 mod tests {
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents calibration invariants
     fn constants_are_sane() {
         use super::*;
         assert!(PCIE_UNPINNED_BW_GBS < PCIE_EFF_BW_GBS);

@@ -38,7 +38,12 @@ pub struct FpgaKernelConfig {
 impl Default for FpgaKernelConfig {
     /// Table IV configuration on a U250: (n, m) = (8, 2048).
     fn default() -> Self {
-        Self { n_pes: 8, m_macs: 2048, vec_lanes: 16, onchip_bytes: 54 * 1024 * 1024 }
+        Self {
+            n_pes: 8,
+            m_macs: 2048,
+            vec_lanes: 16,
+            onchip_bytes: 54 * 1024 * 1024,
+        }
     }
 }
 
@@ -80,7 +85,11 @@ pub fn simulate_aggregation(
     write_back: bool,
 ) -> KernelRun {
     assert_eq!(h_src.rows(), block.num_src, "h_src rows mismatch");
-    assert_eq!(edge_coef.len(), block.num_edges(), "edge coefficient count mismatch");
+    assert_eq!(
+        edge_coef.len(),
+        block.num_edges(),
+        "edge coefficient count mismatch"
+    );
     assert!(
         self_coef.is_empty() || self_coef.len() == block.num_dst,
         "self coefficient count mismatch"
@@ -95,8 +104,7 @@ pub fn simulate_aggregation(
     // Self loops: destinations are the prefix of the source set; their
     // rows stream through the duplicator once as well.
     if !self_coef.is_empty() {
-        for d in 0..block.num_dst {
-            let c = self_coef[d];
+        for (d, &c) in self_coef.iter().enumerate().take(block.num_dst) {
             let row = h_src.row(d);
             let out = result.row_mut(d);
             for (o, x) in out.iter_mut().zip(row) {
@@ -132,8 +140,7 @@ pub fn simulate_aggregation(
         cycles += read_cycles.max(proc_cycles);
 
         let src_row: Vec<f32> = h_src.row(src as usize).to_vec();
-        for k in i..group_end {
-            let orig = order[k];
+        for &orig in &order[i..group_end] {
             let dst = block.edge_dst[orig] as usize;
             let c = edge_coef[orig];
             let out = result.row_mut(dst);
@@ -147,12 +154,23 @@ pub fn simulate_aggregation(
     // on-chip: destination accumulators + one duplicated source row
     let onchip_peak_bytes = (block.num_dst * f * 4 + f * 4) as u64;
     let spilled = onchip_peak_bytes > config.onchip_bytes as u64;
-    let dram_write_bytes = if write_back { (block.num_dst * f * 4) as u64 } else { 0 };
+    let dram_write_bytes = if write_back {
+        (block.num_dst * f * 4) as u64
+    } else {
+        0
+    };
     if write_back {
         cycles += block.num_dst as u64 * read_cycles_per_row;
     }
 
-    KernelRun { result, cycles, dram_read_bytes, dram_write_bytes, onchip_peak_bytes, spilled }
+    KernelRun {
+        result,
+        cycles,
+        dram_read_bytes,
+        dram_write_bytes,
+        onchip_peak_bytes,
+        spilled,
+    }
 }
 
 /// Simulate the systolic-array update stage: `Z = A·W + b`, consuming the
@@ -174,7 +192,11 @@ pub fn simulate_update(
     let cycles = macs.div_ceil(config.m_macs as u64);
     let onchip = (agg.nbytes() + w.nbytes() + result.nbytes()) as u64;
     KernelRun {
-        dram_write_bytes: if write_back { result.nbytes() as u64 } else { 0 },
+        dram_write_bytes: if write_back {
+            result.nbytes() as u64
+        } else {
+            0
+        },
         result,
         cycles,
         dram_read_bytes: 0,
@@ -225,7 +247,10 @@ mod tests {
         let self_coef: Vec<f32> = vec![0.5, 0.25, 1.0];
         let run = simulate_aggregation(&b, &h, &edge_coef, &self_coef, &Default::default(), false);
         let expect = reference(&b, &h, &edge_coef, &self_coef);
-        assert!(run.result.approx_eq(&expect, 1e-5), "FPGA sim diverges from reference");
+        assert!(
+            run.result.approx_eq(&expect, 1e-5),
+            "FPGA sim diverges from reference"
+        );
     }
 
     #[test]
@@ -267,8 +292,14 @@ mod tests {
         };
         let h = randn(2, 16, 4);
         let coef = vec![1.0f32; e];
-        let small = FpgaKernelConfig { n_pes: 2, ..Default::default() };
-        let big = FpgaKernelConfig { n_pes: 16, ..Default::default() };
+        let small = FpgaKernelConfig {
+            n_pes: 2,
+            ..Default::default()
+        };
+        let big = FpgaKernelConfig {
+            n_pes: 16,
+            ..Default::default()
+        };
         let c_small = simulate_aggregation(&b, &h, &coef, &[], &small, false).cycles;
         let c_big = simulate_aggregation(&b, &h, &coef, &[], &big, false).cycles;
         assert!(
@@ -282,7 +313,10 @@ mod tests {
         let b = block();
         let h = randn(6, 64, 5);
         let coef = vec![1.0f32; b.num_edges()];
-        let tiny = FpgaKernelConfig { onchip_bytes: 64, ..Default::default() };
+        let tiny = FpgaKernelConfig {
+            onchip_bytes: 64,
+            ..Default::default()
+        };
         let run = simulate_aggregation(&b, &h, &coef, &[], &tiny, false);
         assert!(run.spilled);
         let run2 = simulate_aggregation(&b, &h, &coef, &[], &Default::default(), false);
@@ -307,8 +341,14 @@ mod tests {
         let agg = randn(64, 128, 8);
         let w = randn(128, 64, 9);
         let bias = vec![0.0f32; 64];
-        let small = FpgaKernelConfig { m_macs: 256, ..Default::default() };
-        let big = FpgaKernelConfig { m_macs: 4096, ..Default::default() };
+        let small = FpgaKernelConfig {
+            m_macs: 256,
+            ..Default::default()
+        };
+        let big = FpgaKernelConfig {
+            m_macs: 4096,
+            ..Default::default()
+        };
         let cs = simulate_update(&agg, &w, &bias, &small, false).cycles;
         let cb = simulate_update(&agg, &w, &bias, &big, false).cycles;
         assert_eq!(cs, cb * 16);

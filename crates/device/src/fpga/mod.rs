@@ -4,5 +4,5 @@
 pub mod kernel;
 pub mod resource;
 
-pub use kernel::{FpgaKernelConfig, KernelRun, simulate_aggregation, simulate_update};
+pub use kernel::{simulate_aggregation, simulate_update, FpgaKernelConfig, KernelRun};
 pub use resource::{ResourceUsage, U250_RESOURCES};

@@ -21,8 +21,12 @@ pub struct FpgaResources {
 }
 
 /// Xilinx Alveo U250 totals.
-pub const U250_RESOURCES: FpgaResources =
-    FpgaResources { luts: 1_728_000, dsps: 12_288, urams: 1_280, brams: 2_688 };
+pub const U250_RESOURCES: FpgaResources = FpgaResources {
+    luts: 1_728_000,
+    dsps: 12_288,
+    urams: 1_280,
+    brams: 2_688,
+};
 
 /// Utilization of a kernel configuration, as fractions of the device.
 #[derive(Debug, Clone, Copy)]

@@ -31,7 +31,14 @@ impl GatherCacheSim {
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways, "cache smaller than one set");
         let sets = lines / ways;
-        Self { sets, ways, line_bytes, tags: vec![Vec::new(); sets], hits: 0, misses: 0 }
+        Self {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// A 6 MB, 16-way, 128-byte-line cache (RTX A5000 L2 scale).

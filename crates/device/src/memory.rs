@@ -135,7 +135,14 @@ mod tests {
     fn hyscale_placement_fits_everything() {
         for spec in [OGBN_PRODUCTS, OGBN_PAPERS100M, MAG240M_HOMO] {
             let dims = [spec.f0, spec.f1, spec.f2];
-            let r = check_host_placement(&spec, &paper_stats(), &dims, 10_000_000, 4096.0, &ALVEO_U250);
+            let r = check_host_placement(
+                &spec,
+                &paper_stats(),
+                &dims,
+                10_000_000,
+                4096.0,
+                &ALVEO_U250,
+            );
             assert!(r.fits, "{} should fit host placement", spec.name);
         }
     }
@@ -146,7 +153,10 @@ mod tests {
         let dims = [128usize, 256, 172];
         let b = minibatch_footprint_bytes(&stats, &dims, 1000);
         assert!(b > stats.feature_bytes(128));
-        assert!(b < 2 * 1024 * 1024 * 1024u64, "mini-batch should be << device memory");
+        assert!(
+            b < 2 * 1024 * 1024 * 1024u64,
+            "mini-batch should be << device memory"
+        );
     }
 
     #[test]

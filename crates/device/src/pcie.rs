@@ -17,7 +17,10 @@ pub struct PcieLink {
 
 impl Default for PcieLink {
     fn default() -> Self {
-        Self { bandwidth_gbs: calib::PCIE_EFF_BW_GBS, latency_s: calib::PCIE_LATENCY_S }
+        Self {
+            bandwidth_gbs: calib::PCIE_EFF_BW_GBS,
+            latency_s: calib::PCIE_LATENCY_S,
+        }
     }
 }
 
@@ -25,7 +28,10 @@ impl PcieLink {
     /// A link with explicit parameters.
     pub fn new(bandwidth_gbs: f64, latency_s: f64) -> Self {
         assert!(bandwidth_gbs > 0.0);
-        Self { bandwidth_gbs, latency_s }
+        Self {
+            bandwidth_gbs,
+            latency_s,
+        }
     }
 
     /// Time to move `bytes` across the link (paper Eq. 8).

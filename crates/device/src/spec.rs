@@ -179,6 +179,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents spec invariants
     fn gpu_beats_fpga_on_paper_compute() {
         // sanity: speedups must come from the system design, not specs
         assert!(RTX_A5000.peak_tflops > 40.0 * ALVEO_U250.peak_tflops);

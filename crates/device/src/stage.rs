@@ -29,8 +29,8 @@ impl LoaderModel {
     /// threads: linear in threads, capped by effective DRAM bandwidth.
     pub fn throughput(&self, threads: usize) -> f64 {
         let per_thread = threads as f64 * calib::GATHER_PER_THREAD_GBS * 1e9;
-        let cap = self.cpu.mem_bandwidth_gbs * 1e9 * self.sockets as f64
-            * calib::CPU_GATHER_BW_FRACTION;
+        let cap =
+            self.cpu.mem_bandwidth_gbs * 1e9 * self.sockets as f64 * calib::CPU_GATHER_BW_FRACTION;
         per_thread.min(cap)
     }
 
@@ -61,7 +61,9 @@ pub struct SamplerModel {
 
 impl Default for SamplerModel {
     fn default() -> Self {
-        Self { eps_per_thread: calib::CPU_SAMPLE_EPS_PER_THREAD }
+        Self {
+            eps_per_thread: calib::CPU_SAMPLE_EPS_PER_THREAD,
+        }
     }
 }
 

@@ -44,7 +44,11 @@ pub fn layer_work(stats: &WorkloadStats, dims: &[usize], width_factor: usize) ->
         .map(|l| LayerWork {
             edges: stats.edges_per_layer[l],
             dst_nodes: stats.nodes_per_layer[l],
-            src_nodes: if l == 0 { stats.input_nodes } else { stats.nodes_per_layer[l - 1] },
+            src_nodes: if l == 0 {
+                stats.input_nodes
+            } else {
+                stats.nodes_per_layer[l - 1]
+            },
             f_in: dims[l] * width_factor,
             f_out: dims[l + 1],
         })
@@ -124,7 +128,12 @@ impl CpuTiming {
     /// If thread counts are inconsistent.
     pub fn new(spec: DeviceSpec, sockets: usize, threads: usize, total_threads: usize) -> Self {
         assert!(threads >= 1 && threads <= total_threads);
-        Self { spec, sockets, threads, total_threads }
+        Self {
+            spec,
+            sockets,
+            threads,
+            total_threads,
+        }
     }
 
     fn flops(&self) -> f64 {
@@ -253,7 +262,12 @@ pub struct FpgaTiming {
 impl FpgaTiming {
     /// Alveo U250 with the Table IV configuration (n, m) = (8, 2048).
     pub fn u250() -> Self {
-        Self { spec: ALVEO_U250, n_pes: 8, m_macs: 2048, vec_lanes: calib::FPGA_VEC_LANES }
+        Self {
+            spec: ALVEO_U250,
+            n_pes: 8,
+            m_macs: 2048,
+            vec_lanes: calib::FPGA_VEC_LANES,
+        }
     }
 
     /// Custom configuration.
@@ -262,7 +276,12 @@ impl FpgaTiming {
     /// If any parallelism parameter is zero.
     pub fn new(spec: DeviceSpec, n_pes: usize, m_macs: usize) -> Self {
         assert!(n_pes > 0 && m_macs > 0);
-        Self { spec, n_pes, m_macs, vec_lanes: calib::FPGA_VEC_LANES }
+        Self {
+            spec,
+            n_pes,
+            m_macs,
+            vec_lanes: calib::FPGA_VEC_LANES,
+        }
     }
 }
 
@@ -273,8 +292,7 @@ impl TrainerTiming for FpgaTiming {
 
     fn aggregate_time(&self, w: &LayerWork) -> f64 {
         // memory side: each distinct source row read once (duplicator)
-        let mem = (w.src_nodes as f64 * w.f_in as f64 * 4.0)
-            / (self.spec.mem_bandwidth_gbs * 1e9);
+        let mem = (w.src_nodes as f64 * w.f_in as f64 * 4.0) / (self.spec.mem_bandwidth_gbs * 1e9);
         // compute side: n PEs each consume one edge per ceil(f/lanes) cycles
         let cycles_per_edge = (w.f_in as f64 / self.vec_lanes as f64).ceil();
         let compute =
@@ -410,7 +428,9 @@ mod tests {
     #[test]
     fn sampling_rates() {
         assert!(CpuTiming::epyc_dual(32, 128).sampling_eps().unwrap() > 0.0);
-        assert!(GpuTiming::a5000().sampling_eps().unwrap() > FpgaTiming::u250().sampling_eps().unwrap());
+        assert!(
+            GpuTiming::a5000().sampling_eps().unwrap() > FpgaTiming::u250().sampling_eps().unwrap()
+        );
     }
 
     #[test]

@@ -39,10 +39,14 @@ impl GcnCoefficients {
     pub fn from_block(block: &Block) -> Self {
         let deg_dst = block.dst_in_degrees();
         let deg_src = block.src_out_degrees();
-        let norm_dst: Vec<f32> =
-            deg_dst.iter().map(|&d| 1.0 / ((d as f32 + 1.0).sqrt())).collect();
-        let norm_src: Vec<f32> =
-            deg_src.iter().map(|&d| 1.0 / ((d as f32 + 1.0).sqrt())).collect();
+        let norm_dst: Vec<f32> = deg_dst
+            .iter()
+            .map(|&d| 1.0 / ((d as f32 + 1.0).sqrt()))
+            .collect();
+        let norm_src: Vec<f32> = deg_src
+            .iter()
+            .map(|&d| 1.0 / ((d as f32 + 1.0).sqrt()))
+            .collect();
         let edge = block
             .edge_src
             .iter()
@@ -113,9 +117,9 @@ pub fn aggregate_mean(block: &Block, h_src: &Matrix) -> Matrix {
     for (&s, &d) in block.edge_src.iter().zip(&block.edge_dst) {
         scatter_add(&mut out, d as usize, h_src.row(s as usize), 1.0, f);
     }
-    for d in 0..block.num_dst {
-        if deg[d] > 0 {
-            let inv = 1.0 / deg[d] as f32;
+    for (d, &deg_d) in deg.iter().enumerate() {
+        if deg_d > 0 {
+            let inv = 1.0 / deg_d as f32;
             for v in out.row_mut(d) {
                 *v *= inv;
             }
@@ -126,14 +130,24 @@ pub fn aggregate_mean(block: &Block, h_src: &Matrix) -> Matrix {
 
 /// Transpose of [`aggregate_mean`]: `∂h_s = Σ_{(s,d)} ∂m_d / |N(d)|`.
 pub fn aggregate_mean_backward(block: &Block, d_mean: &Matrix) -> Matrix {
-    assert_eq!(d_mean.rows(), block.num_dst, "d_mean rows must equal num_dst");
+    assert_eq!(
+        d_mean.rows(),
+        block.num_dst,
+        "d_mean rows must equal num_dst"
+    );
     let f = d_mean.cols();
     let deg = block.dst_in_degrees();
     let mut out = Matrix::zeros(block.num_src, f);
     for (&s, &d) in block.edge_src.iter().zip(&block.edge_dst) {
         let dd = d as usize;
         if deg[dd] > 0 {
-            scatter_add(&mut out, s as usize, d_mean.row(dd), 1.0 / deg[dd] as f32, f);
+            scatter_add(
+                &mut out,
+                s as usize,
+                d_mean.row(dd),
+                1.0 / deg[dd] as f32,
+                f,
+            );
         }
     }
     out
@@ -154,7 +168,12 @@ mod tests {
 
     /// 3 src, 2 dst; edges: (0→0) (2→0) (1→1) (2→1)
     fn block() -> Block {
-        Block { num_src: 3, num_dst: 2, edge_src: vec![0, 2, 1, 2], edge_dst: vec![0, 0, 1, 1] }
+        Block {
+            num_src: 3,
+            num_dst: 2,
+            edge_src: vec![0, 2, 1, 2],
+            edge_dst: vec![0, 0, 1, 1],
+        }
     }
 
     fn h() -> Matrix {
@@ -171,7 +190,12 @@ mod tests {
 
     #[test]
     fn mean_zero_degree_stays_zero() {
-        let b = Block { num_src: 2, num_dst: 2, edge_src: vec![0], edge_dst: vec![0] };
+        let b = Block {
+            num_src: 2,
+            num_dst: 2,
+            edge_src: vec![0],
+            edge_dst: vec![0],
+        };
         let x = Matrix::from_vec(2, 1, vec![5.0, 7.0]);
         let m = aggregate_mean(&b, &x);
         assert_eq!(m.row(0), &[5.0]);
@@ -180,7 +204,12 @@ mod tests {
 
     #[test]
     fn gcn_self_loop_only() {
-        let b = Block { num_src: 1, num_dst: 1, edge_src: vec![], edge_dst: vec![] };
+        let b = Block {
+            num_src: 1,
+            num_dst: 1,
+            edge_src: vec![],
+            edge_dst: vec![],
+        };
         let x = Matrix::from_vec(1, 2, vec![2.0, 4.0]);
         let coef = GcnCoefficients::from_block(&b);
         let a = aggregate_gcn(&b, &x, &coef);
@@ -209,8 +238,18 @@ mod tests {
         let y = Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.25]);
         let cx = aggregate_gcn(&b, &x, &coef);
         let cty = aggregate_gcn_backward(&b, &y, &coef);
-        let lhs: f32 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(cty.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = cx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(cty.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4, "adjoint mismatch: {lhs} vs {rhs}");
     }
 
@@ -221,8 +260,18 @@ mod tests {
         let y = Matrix::from_vec(2, 2, vec![1.0, 0.0, -0.5, 2.0]);
         let cx = aggregate_mean(&b, &x);
         let cty = aggregate_mean_backward(&b, &y);
-        let lhs: f32 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(cty.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = cx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(cty.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4, "adjoint mismatch: {lhs} vs {rhs}");
     }
 

@@ -56,8 +56,17 @@ pub fn check_gradients(
         // probe a couple of biases too
         for bi in (0..b_len).step_by((b_len / 2).max(1)) {
             let an = analytic.d_biases[layer][bi];
-            let num =
-                numeric_grad(kind, dims, mb, x, labels, seed, &base, offset + w_len + bi, eps);
+            let num = numeric_grad(
+                kind,
+                dims,
+                mb,
+                x,
+                labels,
+                seed,
+                &base,
+                offset + w_len + bi,
+                eps,
+            );
             let rel = (an - num).abs() / an.abs().max(num.abs()).max(1.0);
             if rel > max_rel {
                 max_rel = rel;
@@ -66,7 +75,10 @@ pub fn check_gradients(
         }
         offset += w_len + b_len;
     }
-    GradCheckReport { max_rel_error: max_rel, checked }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        checked,
+    }
 }
 
 /// Loss of a model whose flattened parameters are `params` with one entry
@@ -86,6 +98,7 @@ fn loss_with_params(
     softmax_cross_entropy(&logits, labels).loss
 }
 
+#[allow(clippy::too_many_arguments)]
 fn numeric_grad(
     kind: GnnKind,
     dims: &[usize],
@@ -113,11 +126,14 @@ impl GnnModel {
     /// # Panics
     /// If the buffer length does not match the parameter count.
     pub fn load_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "flat parameter size mismatch"
+        );
         let mut offset = 0usize;
         let shapes = self.weight_shapes();
-        for l in 0..shapes.len() {
-            let (r, c) = shapes[l];
+        for (l, &(r, c)) in shapes.iter().enumerate() {
             let w_len = r * c;
             let w = Matrix::from_vec(r, c, flat[offset..offset + w_len].to_vec());
             offset += w_len;
@@ -150,21 +166,33 @@ mod tests {
     fn gcn_gradients_match_finite_difference() {
         let rep = gradcheck_case(GnnKind::Gcn);
         assert!(rep.checked > 10);
-        assert!(rep.max_rel_error < 2e-2, "GCN gradcheck error {}", rep.max_rel_error);
+        assert!(
+            rep.max_rel_error < 2e-2,
+            "GCN gradcheck error {}",
+            rep.max_rel_error
+        );
     }
 
     #[test]
     fn sage_gradients_match_finite_difference() {
         let rep = gradcheck_case(GnnKind::GraphSage);
         assert!(rep.checked > 10);
-        assert!(rep.max_rel_error < 2e-2, "SAGE gradcheck error {}", rep.max_rel_error);
+        assert!(
+            rep.max_rel_error < 2e-2,
+            "SAGE gradcheck error {}",
+            rep.max_rel_error
+        );
     }
 
     #[test]
     fn gin_gradients_match_finite_difference() {
         let rep = gradcheck_case(GnnKind::Gin);
         assert!(rep.checked > 10);
-        assert!(rep.max_rel_error < 2e-2, "GIN gradcheck error {}", rep.max_rel_error);
+        assert!(
+            rep.max_rel_error < 2e-2,
+            "GIN gradcheck error {}",
+            rep.max_rel_error
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl Gradients {
                 .iter()
                 .map(|w| Matrix::zeros(w.rows(), w.cols()))
                 .collect(),
-            d_biases: parts[0].d_biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+            d_biases: parts[0]
+                .d_biases
+                .iter()
+                .map(|b| vec![0.0; b.len()])
+                .collect(),
             batch_size: total,
         };
         for g in parts {
@@ -92,7 +96,11 @@ impl Gradients {
     /// Largest absolute entry across all gradients (for divergence
     /// detection in tests).
     pub fn max_abs(&self) -> f32 {
-        let w = self.d_weights.iter().map(Matrix::max_abs).fold(0.0f32, f32::max);
+        let w = self
+            .d_weights
+            .iter()
+            .map(Matrix::max_abs)
+            .fold(0.0f32, f32::max);
         let b = self
             .d_biases
             .iter()

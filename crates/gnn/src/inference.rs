@@ -18,7 +18,11 @@ use hyscale_tensor::Matrix;
 /// buffers. For chunked destination processing choose `chunk` (vertices
 /// per block); results are identical for any chunk size.
 pub fn full_graph_logits(model: &GnnModel, graph: &CsrGraph, x: &Matrix, chunk: usize) -> Matrix {
-    assert_eq!(x.rows(), graph.num_vertices(), "feature rows must cover all vertices");
+    assert_eq!(
+        x.rows(),
+        graph.num_vertices(),
+        "feature rows must cover all vertices"
+    );
     let chunk = chunk.max(1);
     let mut h = x.clone();
     for layer in 0..model.num_layers() {
@@ -220,8 +224,7 @@ mod tests {
             let seeds: Vec<u32> = ds.splits.train[start..start + 32].to_vec();
             let mb = sampler.sample(&ds.graph, &seeds, step as u64);
             let x = gather_features(&ds.data.features, &mb.input_nodes);
-            let labels: Vec<u32> =
-                seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
+            let labels: Vec<u32> = seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
             let out = model.train_step(&mb, &x, &labels);
             model.apply_gradients(&out.grads, &mut opt);
         }

@@ -21,8 +21,7 @@
 //! direction"), producing `∂W`/`∂b` per layer.
 
 use crate::aggregate::{
-    aggregate_gcn, aggregate_gcn_backward, aggregate_mean, aggregate_mean_backward,
-    GcnCoefficients,
+    aggregate_gcn, aggregate_gcn_backward, aggregate_mean, aggregate_mean_backward, GcnCoefficients,
 };
 use crate::grads::Gradients;
 use hyscale_sampler::MiniBatch;
@@ -109,7 +108,11 @@ impl GnnModel {
                 }
             })
             .collect();
-        Self { kind, dims: dims.to_vec(), layers }
+        Self {
+            kind,
+            dims: dims.to_vec(),
+            layers,
+        }
     }
 
     /// Model kind.
@@ -150,8 +153,16 @@ impl GnnModel {
     }
 
     fn forward_cached(&self, mb: &MiniBatch, x: &Matrix) -> ForwardCache {
-        assert_eq!(mb.num_layers(), self.layers.len(), "mini-batch layer count mismatch");
-        assert_eq!(x.rows(), mb.input_nodes.len(), "feature rows must match input nodes");
+        assert_eq!(
+            mb.num_layers(),
+            self.layers.len(),
+            "mini-batch layer count mismatch"
+        );
+        assert_eq!(
+            x.rows(),
+            mb.input_nodes.len(),
+            "feature rows must match input nodes"
+        );
         assert_eq!(x.cols(), self.dims[0], "feature width must match f0");
 
         let mut h = x.clone();
@@ -191,7 +202,12 @@ impl GnnModel {
                 relu_inplace(&mut a);
                 a
             };
-            cache.per_layer.push(LayerCache { h_src: h, update_in, z, gcn_coef });
+            cache.per_layer.push(LayerCache {
+                h_src: h,
+                update_in,
+                z,
+                gcn_coef,
+            });
             h = out;
         }
         cache.logits = h;
@@ -224,7 +240,10 @@ impl GnnModel {
             // aggregate backward
             let d_src = match self.kind {
                 GnnKind::Gcn | GnnKind::Gin => {
-                    let coef = lc.gcn_coef.as_ref().expect("aggregation cache has coefficients");
+                    let coef = lc
+                        .gcn_coef
+                        .as_ref()
+                        .expect("aggregation cache has coefficients");
                     aggregate_gcn_backward(block, &d_update_in, coef)
                 }
                 GnnKind::GraphSage => {
@@ -251,7 +270,11 @@ impl GnnModel {
         StepOutput {
             loss: loss_out.loss,
             accuracy: acc,
-            grads: Gradients { d_weights, d_biases, batch_size: mb.seeds.len() },
+            grads: Gradients {
+                d_weights,
+                d_biases,
+                batch_size: mb.seeds.len(),
+            },
         }
     }
 
@@ -259,7 +282,11 @@ impl GnnModel {
     /// All replicas call this with identical inputs, keeping weights in
     /// lock-step.
     pub fn apply_gradients(&mut self, grads: &Gradients, opt: &mut dyn Optimizer) {
-        assert_eq!(grads.num_layers(), self.layers.len(), "gradient layer mismatch");
+        assert_eq!(
+            grads.num_layers(),
+            self.layers.len(),
+            "gradient layer mismatch"
+        );
         for (l, (params, (dw, db))) in self
             .layers
             .iter_mut()
@@ -330,8 +357,8 @@ struct ForwardCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyscale_graph::Dataset;
     use hyscale_graph::features::gather_features;
+    use hyscale_graph::Dataset;
     use hyscale_sampler::NeighborSampler;
     use hyscale_tensor::Sgd;
 

@@ -57,7 +57,10 @@ impl GraphBuilder {
     }
 
     /// Append many edges.
-    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+    pub fn add_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
         self.edges.extend(edges);
         self
     }

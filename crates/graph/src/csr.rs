@@ -33,11 +33,17 @@ impl CsrGraph {
     ///
     /// Multi-edges and self-loops are preserved (callers that need
     /// dedup/sorting use [`crate::builder::GraphBuilder`]).
-    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, GraphError> {
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Self, GraphError> {
         for &(s, t) in edges {
             let max = s.max(t);
             if max as usize >= num_vertices {
-                return Err(GraphError::VertexOutOfRange { vertex: max, num_vertices });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: max,
+                    num_vertices,
+                });
             }
         }
         let mut counts = vec![0u64; num_vertices + 1];
@@ -60,7 +66,10 @@ impl CsrGraph {
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], targets: Vec::new() }
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -126,7 +135,10 @@ impl CsrGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         let n = self.num_vertices();
         if self.offsets.is_empty() {
-            return Err(GraphError::BadOffsetLength { got: 0, expected: 1 });
+            return Err(GraphError::BadOffsetLength {
+                got: 0,
+                expected: 1,
+            });
         }
         if self.offsets[0] != 0 {
             return Err(GraphError::NonMonotonicOffsets { at: 0 });
@@ -145,7 +157,10 @@ impl CsrGraph {
         for (i, &t) in self.targets.iter().enumerate() {
             if t as usize >= n {
                 let _ = i;
-                return Err(GraphError::VertexOutOfRange { vertex: t, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: t,
+                    num_vertices: n,
+                });
             }
         }
         Ok(())
@@ -239,7 +254,10 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = CsrGraph::from_edges(2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl DatasetSpec {
         assert!(scale >= 1, "scale must be >= 1");
         let n = (self.num_vertices / scale).max(64) as usize;
         let classes = self.f2.min(64); // cap synthetic communities for tiny scales
-        assert!(n >= 2 * classes, "scale {scale} leaves too few vertices ({n}) for {classes} classes");
+        assert!(
+            n >= 2 * classes,
+            "scale {scale} leaves too few vertices ({n}) for {classes} classes"
+        );
         // symmetrize() roughly doubles the out-degree of a directed SBM,
         // so generate at half the spec's average degree to land on it.
         let avg_degree = (self.avg_degree() / 2.0).round() as usize;
@@ -133,10 +136,15 @@ impl DatasetSpec {
         // matching OGB preprocessing of products/papers.
         let graph = graph.symmetrize();
         let data = VertexData::from_labels(&labels, classes, self.f0, 2.0, seed ^ 0xfeed);
-        let train_frac =
-            (self.train_vertices as f64 / self.num_vertices as f64).clamp(0.01, 0.8);
+        let train_frac = (self.train_vertices as f64 / self.num_vertices as f64).clamp(0.01, 0.8);
         let splits = Splits::random(n, train_frac, 0.1, seed ^ 0xbeef);
-        Dataset { spec: *self, graph, data, splits, scale }
+        Dataset {
+            spec: *self,
+            graph,
+            data,
+            splits,
+            scale,
+        }
     }
 }
 
@@ -160,7 +168,7 @@ impl Dataset {
     /// Iterations per full-scale epoch at a given total mini-batch size
     /// (paper §VI-A2: mini-batch size 1024 over the labelled train set).
     pub fn full_scale_iterations(&self, total_batch: usize) -> u64 {
-        (self.spec.train_vertices + total_batch as u64 - 1) / total_batch as u64
+        self.spec.train_vertices.div_ceil(total_batch as u64)
     }
 
     /// A small, fast dataset for unit tests (not a paper dataset).
@@ -176,13 +184,24 @@ impl Dataset {
             train_vertices: 600,
         };
         let (graph, labels) = sbm(
-            SbmConfig { num_vertices: 1000, communities: 4, avg_degree: 16, p_intra: 0.85 },
+            SbmConfig {
+                num_vertices: 1000,
+                communities: 4,
+                avg_degree: 16,
+                p_intra: 0.85,
+            },
             seed,
         );
         let graph = graph.symmetrize();
         let data = VertexData::from_labels(&labels, 4, 16, 2.5, seed ^ 1);
         let splits = Splits::random(1000, 0.6, 0.2, seed ^ 2);
-        Dataset { spec, graph, data, splits, scale: 1 }
+        Dataset {
+            spec,
+            graph,
+            data,
+            splits,
+            scale: 1,
+        }
     }
 }
 

@@ -13,7 +13,11 @@ pub fn degree_histogram(graph: &CsrGraph) -> Vec<(usize, usize)> {
     let mut buckets: Vec<usize> = Vec::new();
     for v in 0..graph.num_vertices() as VertexId {
         let d = graph.out_degree(v);
-        let b = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         if buckets.len() <= b {
             buckets.resize(b + 1, 0);
         }
@@ -57,7 +61,14 @@ mod tests {
 
     #[test]
     fn histogram_covers_all_vertices() {
-        let g = rmat(RmatConfig { scale: 8, avg_degree: 8, ..Default::default() }, 1);
+        let g = rmat(
+            RmatConfig {
+                scale: 8,
+                avg_degree: 8,
+                ..Default::default()
+            },
+            1,
+        );
         let hist = degree_histogram(&g);
         let total: usize = hist.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, g.num_vertices());

@@ -28,15 +28,27 @@ impl VertexData {
     pub fn random(num_vertices: usize, feat_dim: usize, num_classes: usize, seed: u64) -> Self {
         let features = randn(num_vertices, feat_dim, seed);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
-        let labels = (0..num_vertices).map(|_| rng.gen_range(0..num_classes) as u32).collect();
-        Self { features, labels, num_classes }
+        let labels = (0..num_vertices)
+            .map(|_| rng.gen_range(0..num_classes) as u32)
+            .collect();
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
     }
 
     /// Features correlated with planted community labels: class `c` gets a
     /// distinct random mean vector, vertices get `mean[label] + noise`.
     /// This is what makes the convergence tests meaningful — the signal is
     /// recoverable, like the community structure in ogbn-products.
-    pub fn from_labels(labels: &[u32], num_classes: usize, feat_dim: usize, signal: f32, seed: u64) -> Self {
+    pub fn from_labels(
+        labels: &[u32],
+        num_classes: usize,
+        feat_dim: usize,
+        signal: f32,
+        seed: u64,
+    ) -> Self {
         let means = randn(num_classes, feat_dim, seed);
         let noise = randn(labels.len(), feat_dim, seed ^ 0xabcd_ef01);
         let mut features = noise;
@@ -50,7 +62,11 @@ impl VertexData {
                     *v += signal * *m;
                 }
             });
-        Self { features, labels: labels.to_vec(), num_classes }
+        Self {
+            features,
+            labels: labels.to_vec(),
+            num_classes,
+        }
     }
 
     /// Number of vertices covered.
@@ -107,15 +123,27 @@ impl Splits {
 /// rows. This is the *Feature Loading* stage kernel (paper Fig. 4 stage 2);
 /// its measured byte volume drives Eq. 7 of the performance model.
 pub fn gather_features(x: &Matrix, indices: &[u32]) -> Matrix {
+    let mut out = Matrix::uninit(indices.len(), x.cols());
+    gather_features_into(&mut out, x, indices);
+    out
+}
+
+/// Allocation-free variant of [`gather_features`]: reshape `out` (reusing
+/// its buffer) and gather `X[indices, :]` into it. With a recycled
+/// matrix pool, steady-state training iterations perform zero
+/// feature-matrix allocations — the prefetching executor's hot path.
+///
+/// Produces bitwise-identical contents to [`gather_features`] for the
+/// same `(x, indices)` regardless of the previous contents of `out`.
+pub fn gather_features_into(out: &mut Matrix, x: &Matrix, indices: &[u32]) {
     let dim = x.cols();
-    let mut out = Matrix::zeros(indices.len(), dim);
+    out.resize(indices.len(), dim);
     out.as_mut_slice()
         .par_chunks_mut(dim)
         .zip(indices.par_iter())
         .for_each(|(dst, &src)| {
             dst.copy_from_slice(x.row(src as usize));
         });
-    out
 }
 
 /// Sanity check: every vertex with at least one edge has a feature row.
@@ -142,14 +170,19 @@ mod tests {
         // class means should differ: compare centroid distance to noise scale
         let mut c0 = vec![0.0f32; 8];
         let mut c1 = vec![0.0f32; 8];
-        for v in 0..100 {
+        for (v, &label) in labels.iter().enumerate() {
             let row = d.features.row(v);
-            let c = if labels[v] == 0 { &mut c0 } else { &mut c1 };
+            let c = if label == 0 { &mut c0 } else { &mut c1 };
             for (acc, x) in c.iter_mut().zip(row) {
                 *acc += x / 50.0;
             }
         }
-        let dist: f32 = c0.iter().zip(&c1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = c0
+            .iter()
+            .zip(&c1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist > 1.0, "class centroids too close: {dist}");
     }
 
@@ -159,7 +192,13 @@ mod tests {
         assert_eq!(s.train.len(), 60);
         assert_eq!(s.val.len(), 20);
         assert_eq!(s.test.len(), 20);
-        let mut all: Vec<u32> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<u32> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }
@@ -178,6 +217,26 @@ mod tests {
         let g = gather_features(&x, &idx);
         let serial = x.gather_rows(&idx);
         assert_eq!(g.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn gather_into_reuses_buffer_and_matches() {
+        let x = randn(64, 12, 4);
+        let mut out = Matrix::full(200, 12, f32::NAN); // stale contents
+        let cap = out.capacity();
+        let idx: Vec<u32> = (0..150).map(|i| (i * 13) % 64).collect();
+        gather_features_into(&mut out, &x, &idx);
+        assert_eq!(
+            out.capacity(),
+            cap,
+            "gather_into must not reallocate within capacity"
+        );
+        let fresh = gather_features(&x, &idx);
+        assert_eq!(
+            out.as_slice(),
+            fresh.as_slice(),
+            "stale buffer leaked into gather"
+        );
     }
 
     #[test]

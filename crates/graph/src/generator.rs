@@ -29,7 +29,12 @@ pub struct RmatConfig {
 
 impl Default for RmatConfig {
     fn default() -> Self {
-        Self { scale: 10, avg_degree: 16, probs: (0.57, 0.19, 0.19, 0.05), clean: true }
+        Self {
+            scale: 10,
+            avg_degree: 16,
+            probs: (0.57, 0.19, 0.19, 0.05),
+            clean: true,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ impl Default for RmatConfig {
 /// If the quadrant probabilities do not sum to ≈ 1.
 pub fn rmat(config: RmatConfig, seed: u64) -> CsrGraph {
     let (a, b, c, d) = config.probs;
-    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "R-MAT probabilities must sum to 1");
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-6,
+        "R-MAT probabilities must sum to 1"
+    );
     let n = 1usize << config.scale;
     let m = n * config.avg_degree;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -75,13 +83,19 @@ pub fn rmat(config: RmatConfig, seed: u64) -> CsrGraph {
         }
         builder.add_edge(lo_s as VertexId, lo_t as VertexId);
     }
-    builder.build().expect("R-MAT edges are in range by construction")
+    builder
+        .build()
+        .expect("R-MAT edges are in range by construction")
 }
 
 /// Preferential-attachment (Barabási–Albert style) generator: each new
 /// vertex attaches `m` edges to existing vertices chosen proportionally
 /// to degree (implemented with the repeated-endpoint trick).
-pub fn preferential_attachment(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> CsrGraph {
+pub fn preferential_attachment(
+    num_vertices: usize,
+    edges_per_vertex: usize,
+    seed: u64,
+) -> CsrGraph {
     assert!(num_vertices >= 2, "need at least two vertices");
     let m = edges_per_vertex.max(1);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -100,7 +114,9 @@ pub fn preferential_attachment(num_vertices: usize, edges_per_vertex: usize, see
             pool.push(v);
         }
     }
-    builder.build().expect("PA edges are in range by construction")
+    builder
+        .build()
+        .expect("PA edges are in range by construction")
 }
 
 /// Erdős–Rényi `G(n, m)`: `m` uniform random directed edges.
@@ -112,7 +128,9 @@ pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> CsrGraph
         let t = rng.gen_range(0..num_vertices) as VertexId;
         builder.add_edge(s, t);
     }
-    builder.build().expect("ER edges are in range by construction")
+    builder
+        .build()
+        .expect("ER edges are in range by construction")
 }
 
 /// Stochastic block model with `k` equal-size communities.
@@ -135,14 +153,24 @@ pub struct SbmConfig {
 
 impl Default for SbmConfig {
     fn default() -> Self {
-        Self { num_vertices: 1000, communities: 8, avg_degree: 16, p_intra: 0.85 }
+        Self {
+            num_vertices: 1000,
+            communities: 8,
+            avg_degree: 16,
+            p_intra: 0.85,
+        }
     }
 }
 
 /// Generate an SBM graph; returns the graph and the planted community
 /// label of every vertex.
 pub fn sbm(config: SbmConfig, seed: u64) -> (CsrGraph, Vec<u32>) {
-    let SbmConfig { num_vertices: n, communities: k, avg_degree, p_intra } = config;
+    let SbmConfig {
+        num_vertices: n,
+        communities: k,
+        avg_degree,
+        p_intra,
+    } = config;
     assert!(k >= 1 && n >= k, "need at least one vertex per community");
     let mut rng = SmallRng::seed_from_u64(seed);
     let labels: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
@@ -152,7 +180,9 @@ pub fn sbm(config: SbmConfig, seed: u64) -> (CsrGraph, Vec<u32>) {
         members[v % k].push(v as VertexId);
     }
     let m = n * avg_degree;
-    let mut builder = GraphBuilder::with_capacity(n, m).dedup(true).drop_self_loops(true);
+    let mut builder = GraphBuilder::with_capacity(n, m)
+        .dedup(true)
+        .drop_self_loops(true);
     for _ in 0..m {
         let s = rng.gen_range(0..n);
         let c = s % k;
@@ -173,7 +203,11 @@ mod tests {
 
     #[test]
     fn rmat_shape_and_determinism() {
-        let cfg = RmatConfig { scale: 8, avg_degree: 8, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 8,
+            avg_degree: 8,
+            ..Default::default()
+        };
         let g1 = rmat(cfg, 1);
         let g2 = rmat(cfg, 1);
         let g3 = rmat(cfg, 2);
@@ -185,7 +219,12 @@ mod tests {
 
     #[test]
     fn rmat_is_skewed() {
-        let cfg = RmatConfig { scale: 10, avg_degree: 16, clean: false, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 10,
+            avg_degree: 16,
+            clean: false,
+            ..Default::default()
+        };
         let g = rmat(cfg, 7);
         // power-law-ish: max degree far above average
         assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
@@ -194,7 +233,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rmat_rejects_bad_probs() {
-        let cfg = RmatConfig { probs: (0.5, 0.1, 0.1, 0.1), ..Default::default() };
+        let cfg = RmatConfig {
+            probs: (0.5, 0.1, 0.1, 0.1),
+            ..Default::default()
+        };
         let _ = rmat(cfg, 0);
     }
 
@@ -204,7 +246,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 2000);
         assert!(g.num_edges() > 0);
         let und = g.symmetrize();
-        assert!(und.max_degree() > 30, "expected hubs, max degree {}", und.max_degree());
+        assert!(
+            und.max_degree() > 30,
+            "expected hubs, max degree {}",
+            und.max_degree()
+        );
     }
 
     #[test]
@@ -217,7 +263,14 @@ mod tests {
 
     #[test]
     fn sbm_labels_match_communities() {
-        let (g, labels) = sbm(SbmConfig { num_vertices: 400, communities: 4, ..Default::default() }, 5);
+        let (g, labels) = sbm(
+            SbmConfig {
+                num_vertices: 400,
+                communities: 4,
+                ..Default::default()
+            },
+            5,
+        );
         assert_eq!(labels.len(), 400);
         assert_eq!(labels[0], 0);
         assert_eq!(labels[5], 1);

@@ -19,7 +19,12 @@ const MAT_MAGIC: u64 = 0x4853_4d41_0001; // "HSMA" v1
 
 /// Write a graph as `src\tdst` lines.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut w: W) -> io::Result<()> {
-    writeln!(w, "# hyscale edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# hyscale edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, t) in graph.edges_by_source() {
         writeln!(w, "{s}\t{t}")?;
     }
@@ -55,7 +60,10 @@ pub fn read_edge_list<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<
 }
 
 fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("malformed edge at line {}", lineno + 1))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge at line {}", lineno + 1),
+    )
 }
 
 fn graph_err(e: GraphError) -> io::Error {
@@ -82,7 +90,10 @@ pub fn read_csr_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
     let mut r = BufReader::new(r);
     let magic = read_u64(&mut r)?;
     if magic != CSR_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale CSR file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a hyscale CSR file",
+        ));
     }
     let n = read_u64(&mut r)? as usize;
     let m = read_u64(&mut r)? as usize;
@@ -116,7 +127,10 @@ pub fn read_matrix<R: Read>(r: R) -> io::Result<Matrix> {
     let mut r = BufReader::new(r);
     let magic = read_u64(&mut r)?;
     if magic != MAT_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hyscale matrix file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a hyscale matrix file",
+        ));
     }
     let rows = read_u64(&mut r)? as usize;
     let cols = read_u64(&mut r)? as usize;
@@ -152,7 +166,14 @@ mod tests {
     use hyscale_tensor::init::randn;
 
     fn graph() -> CsrGraph {
-        rmat(RmatConfig { scale: 7, avg_degree: 6, ..Default::default() }, 3)
+        rmat(
+            RmatConfig {
+                scale: 7,
+                avg_degree: 6,
+                ..Default::default()
+            },
+            3,
+        )
     }
 
     #[test]
@@ -191,7 +212,7 @@ mod tests {
 
     #[test]
     fn csr_binary_rejects_wrong_magic() {
-        let buf = vec![0u8; 64];
+        let buf = [0u8; 64];
         assert!(read_csr_binary(&buf[..]).is_err());
     }
 

@@ -26,7 +26,10 @@ impl Partition {
         let assignment = (0..num_vertices as u64)
             .map(|v| ((v.wrapping_mul(11400714819323198485) >> 33) % num_parts as u64) as u32)
             .collect();
-        Self { assignment, num_parts }
+        Self {
+            assignment,
+            num_parts,
+        }
     }
 
     /// Contiguous range partitioning (locality-preserving; a stand-in for
@@ -37,7 +40,10 @@ impl Partition {
         let assignment = (0..num_vertices)
             .map(|v| ((v / per) as u32).min(num_parts as u32 - 1))
             .collect();
-        Self { assignment, num_parts }
+        Self {
+            assignment,
+            num_parts,
+        }
     }
 
     /// Partition id of vertex `v`.
@@ -115,7 +121,15 @@ mod tests {
         // *hash* partitioning scatters communities while *range* keeps
         // entire id blocks together. With k == parts aligned to ranges the
         // cut should not exceed the hash cut.
-        let (g, _) = sbm(SbmConfig { num_vertices: 2000, communities: 4, avg_degree: 16, p_intra: 0.9 }, 3);
+        let (g, _) = sbm(
+            SbmConfig {
+                num_vertices: 2000,
+                communities: 4,
+                avg_degree: 16,
+                p_intra: 0.9,
+            },
+            3,
+        );
         let hash_cut = Partition::hash(2000, 4).edge_cut_ratio(&g);
         assert!(hash_cut > 0.5, "hash cut unexpectedly low: {hash_cut}");
     }

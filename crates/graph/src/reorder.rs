@@ -23,7 +23,10 @@ impl Relabeling {
     /// Identity relabeling over `n` vertices.
     pub fn identity(n: usize) -> Self {
         let perm: Vec<VertexId> = (0..n as VertexId).collect();
-        Self { inv: perm.clone(), perm }
+        Self {
+            inv: perm.clone(),
+            perm,
+        }
     }
 
     /// Degree-descending relabeling: the highest-out-degree vertex
@@ -92,7 +95,9 @@ mod tests {
         // new id 0 has the max degree
         assert_eq!(g2.out_degree(0), g.max_degree());
         // degrees non-increasing over new ids
-        let degs: Vec<usize> = (0..g2.num_vertices() as VertexId).map(|v| g2.out_degree(v)).collect();
+        let degs: Vec<usize> = (0..g2.num_vertices() as VertexId)
+            .map(|v| g2.out_degree(v))
+            .collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }
 
@@ -103,7 +108,10 @@ mod tests {
         let g2 = r.apply_graph(&g);
         assert_eq!(g.num_edges(), g2.num_edges());
         // applying the inverse recovers the original edge multiset
-        let inv = Relabeling { perm: r.inv.clone(), inv: r.perm.clone() };
+        let inv = Relabeling {
+            perm: r.inv.clone(),
+            inv: r.perm.clone(),
+        };
         let g3 = inv.apply_graph(&g2);
         let mut a = g.edges_by_source();
         let mut b = g3.edges_by_source();

@@ -29,8 +29,7 @@ pub struct GraphSummary {
 /// Compute the summary (exact; O(V log V)).
 pub fn summarize(graph: &CsrGraph) -> GraphSummary {
     let n = graph.num_vertices();
-    let mut degrees: Vec<usize> =
-        (0..n as VertexId).map(|v| graph.out_degree(v)).collect();
+    let mut degrees: Vec<usize> = (0..n as VertexId).map(|v| graph.out_degree(v)).collect();
     degrees.sort_unstable();
     let pct = |p: f64| -> usize {
         if degrees.is_empty() {
@@ -46,7 +45,11 @@ pub fn summarize(graph: &CsrGraph) -> GraphSummary {
         avg_degree: graph.avg_degree(),
         max_degree: *degrees.last().unwrap_or(&0),
         degree_percentiles: (pct(0.5), pct(0.9), pct(0.99)),
-        isolated_fraction: if n == 0 { 0.0 } else { isolated as f64 / n as f64 },
+        isolated_fraction: if n == 0 {
+            0.0
+        } else {
+            isolated as f64 / n as f64
+        },
     }
 }
 
@@ -119,7 +122,12 @@ mod tests {
     #[test]
     fn community_graph_clusters_more_than_random() {
         let (c, _) = sbm(
-            SbmConfig { num_vertices: 600, communities: 6, avg_degree: 14, p_intra: 0.9 },
+            SbmConfig {
+                num_vertices: 600,
+                communities: 6,
+                avg_degree: 14,
+                p_intra: 0.9,
+            },
             4,
         );
         let c = c.symmetrize();

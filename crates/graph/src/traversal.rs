@@ -104,7 +104,12 @@ mod tests {
     #[test]
     fn synthesized_dataset_is_mostly_connected() {
         let (g, _) = sbm(
-            SbmConfig { num_vertices: 500, communities: 5, avg_degree: 12, p_intra: 0.8 },
+            SbmConfig {
+                num_vertices: 500,
+                communities: 5,
+                avg_degree: 12,
+                p_intra: 0.8,
+            },
             1,
         );
         let g = g.symmetrize();

@@ -35,7 +35,10 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
                 write!(f, "vertex {vertex} out of range (|V| = {num_vertices})")
             }
             GraphError::NonMonotonicOffsets { at } => {
@@ -56,7 +59,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('5'));
     }

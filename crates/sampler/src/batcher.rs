@@ -68,6 +68,67 @@ impl EpochBatcher {
         }
         out
     }
+
+    /// Iterator over the per-iteration batch plans of an epoch under
+    /// fixed `quotas`, starting at `start_iter`. Each item is
+    /// `(iter, seed_sets)` exactly as [`EpochBatcher::iteration_seeds`]
+    /// would slice it; the iterator ends once an iteration has no seeds
+    /// left.
+    ///
+    /// Because each plan is a pure function of `(epoch_order, iter,
+    /// quotas)`, a prefetching producer can walk this iterator on a
+    /// background thread and still hand out batches bitwise-identical
+    /// to serial execution — the property the executor's determinism
+    /// tests pin down. After a DRM re-mapping the caller simply starts a
+    /// fresh plan at the next iteration with the new quotas.
+    pub fn plan<'a>(
+        &self,
+        epoch_order: &'a [VertexId],
+        start_iter: usize,
+        quotas: &'a [usize],
+    ) -> BatchPlan<'a> {
+        BatchPlan {
+            epoch_order,
+            quotas,
+            next_iter: start_iter,
+        }
+    }
+}
+
+/// Iterator of per-iteration seed plans; see [`EpochBatcher::plan`].
+#[derive(Clone, Debug)]
+pub struct BatchPlan<'a> {
+    epoch_order: &'a [VertexId],
+    quotas: &'a [usize],
+    next_iter: usize,
+}
+
+impl<'a> Iterator for BatchPlan<'a> {
+    type Item = (usize, Vec<Vec<VertexId>>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let total: usize = self.quotas.iter().sum();
+        // A zero-total split can never consume a seed: end immediately
+        // (the executor's historical "all seed sets empty" stop).
+        if total == 0 {
+            return None;
+        }
+        let start = self.next_iter * total;
+        if start >= self.epoch_order.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.quotas.len());
+        let mut cursor = start;
+        for &q in self.quotas {
+            let end = (cursor + q).min(self.epoch_order.len());
+            let begin = cursor.min(self.epoch_order.len());
+            out.push(self.epoch_order[begin..end].to_vec());
+            cursor += q;
+        }
+        let iter = self.next_iter;
+        self.next_iter += 1;
+        Some((iter, out))
+    }
 }
 
 /// Integer split of `total` seeds into `n` quotas proportional to
@@ -82,8 +143,11 @@ pub fn proportional_quotas(total: usize, weights: &[f64]) -> Vec<usize> {
     let mut quotas: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
     let mut assigned: usize = quotas.iter().sum();
     // distribute the remainder by largest fractional part, stable order
-    let mut frac: Vec<(usize, f64)> =
-        raw.iter().enumerate().map(|(i, r)| (i, r - r.floor())).collect();
+    let mut frac: Vec<(usize, f64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r - r.floor()))
+        .collect();
     frac.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     let mut k = 0;
     while assigned < total {
@@ -150,9 +214,18 @@ mod tests {
     #[test]
     fn quotas_sum_exactly() {
         for total in [1usize, 7, 100, 1024] {
-            for w in [[1.0, 1.0, 1.0].as_slice(), &[0.3, 0.7], &[5.0], &[1e-3, 1.0, 2.5]] {
+            for w in [
+                [1.0, 1.0, 1.0].as_slice(),
+                &[0.3, 0.7],
+                &[5.0],
+                &[1e-3, 1.0, 2.5],
+            ] {
                 let q = proportional_quotas(total, w);
-                assert_eq!(q.iter().sum::<usize>(), total, "total {total} weights {w:?}");
+                assert_eq!(
+                    q.iter().sum::<usize>(),
+                    total,
+                    "total {total} weights {w:?}"
+                );
             }
         }
     }
@@ -167,5 +240,36 @@ mod tests {
     #[should_panic(expected = "no training vertices")]
     fn rejects_empty_train_set() {
         let _ = EpochBatcher::new(vec![], 0);
+    }
+
+    #[test]
+    fn plan_matches_iteration_seeds() {
+        let b = batcher();
+        let order = b.epoch_order(4);
+        let quotas = [25usize, 15];
+        let plans: Vec<_> = b.plan(&order, 0, &quotas).collect();
+        assert_eq!(plans.len(), 3, "100 seeds / 40 per iter = 3 iterations");
+        for (iter, sets) in &plans {
+            assert_eq!(*sets, b.iteration_seeds(&order, *iter, &quotas));
+        }
+    }
+
+    #[test]
+    fn plan_with_zero_quotas_ends_immediately() {
+        let b = batcher();
+        let order = b.epoch_order(0);
+        assert!(b.plan(&order, 0, &[0, 0]).next().is_none());
+    }
+
+    #[test]
+    fn plan_resumes_mid_epoch() {
+        let b = batcher();
+        let order = b.epoch_order(1);
+        let quotas = [30usize, 10];
+        let mut plan = b.plan(&order, 2, &quotas);
+        let (iter, sets) = plan.next().unwrap();
+        assert_eq!(iter, 2);
+        assert_eq!(sets, b.iteration_seeds(&order, 2, &quotas));
+        assert!(plan.next().is_none(), "epoch exhausted after iteration 2");
     }
 }

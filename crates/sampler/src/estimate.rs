@@ -34,7 +34,7 @@ pub fn expected_workload(
 ) -> WorkloadStats {
     let n = num_vertices as f64;
     let mut frontier = batch_size as f64; // |V^L|
-    // walk seed-side -> input-side, recording per-layer dst/edge counts
+                                          // walk seed-side -> input-side, recording per-layer dst/edge counts
     let mut nodes_rev: Vec<usize> = Vec::with_capacity(fanouts.len());
     let mut edges_rev: Vec<usize> = Vec::with_capacity(fanouts.len());
     for &fanout in fanouts {
@@ -92,7 +92,12 @@ mod tests {
         // Estimate should be within ~35% of a real sampled batch on a
         // uniformish graph (it ignores degree skew, so allow slack).
         let (g, _) = sbm(
-            SbmConfig { num_vertices: 4000, communities: 8, avg_degree: 16, p_intra: 0.8 },
+            SbmConfig {
+                num_vertices: 4000,
+                communities: 8,
+                avg_degree: 16,
+                p_intra: 0.8,
+            },
             3,
         );
         let g = g.symmetrize();

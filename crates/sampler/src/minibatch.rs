@@ -56,7 +56,10 @@ impl Block {
     /// property representable).
     pub fn validate(&self) -> Result<(), String> {
         if self.num_dst > self.num_src {
-            return Err(format!("num_dst {} > num_src {}", self.num_dst, self.num_src));
+            return Err(format!(
+                "num_dst {} > num_src {}",
+                self.num_dst, self.num_src
+            ));
         }
         if self.edge_src.len() != self.edge_dst.len() {
             return Err("edge endpoint arrays differ in length".into());
@@ -73,8 +76,12 @@ impl Block {
     /// Edges sorted by source index — the order the FPGA feature
     /// duplicator requires (paper §IV-C). Stable within a source.
     pub fn edges_sorted_by_src(&self) -> Vec<(u32, u32)> {
-        let mut edges: Vec<(u32, u32)> =
-            self.edge_src.iter().copied().zip(self.edge_dst.iter().copied()).collect();
+        let mut edges: Vec<(u32, u32)> = self
+            .edge_src
+            .iter()
+            .copied()
+            .zip(self.edge_dst.iter().copied())
+            .collect();
         edges.sort_by_key(|&(s, _)| s);
         edges
     }
@@ -255,7 +262,12 @@ mod tests {
 
     #[test]
     fn sorted_edges_by_src() {
-        let b = Block { num_src: 3, num_dst: 3, edge_src: vec![2, 0, 1, 0], edge_dst: vec![0, 1, 2, 0] };
+        let b = Block {
+            num_src: 3,
+            num_dst: 3,
+            edge_src: vec![2, 0, 1, 0],
+            edge_dst: vec![0, 1, 2, 0],
+        };
         let e = b.edges_sorted_by_src();
         assert!(e.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(e.len(), 4);
@@ -268,7 +280,12 @@ mod tests {
             seeds: vec![10],
             blocks: vec![
                 tiny_block(),
-                Block { num_src: 2, num_dst: 1, edge_src: vec![0, 1], edge_dst: vec![0, 0] },
+                Block {
+                    num_src: 2,
+                    num_dst: 1,
+                    edge_src: vec![0, 1],
+                    edge_dst: vec![0, 0],
+                },
             ],
         };
         mb.validate().unwrap();
@@ -288,7 +305,12 @@ mod tests {
             seeds: vec![1],
             blocks: vec![
                 tiny_block(),
-                Block { num_src: 3, num_dst: 1, edge_src: vec![0], edge_dst: vec![0] },
+                Block {
+                    num_src: 3,
+                    num_dst: 1,
+                    edge_src: vec![0],
+                    edge_dst: vec![0],
+                },
             ],
         };
         assert!(mb.validate().is_err());

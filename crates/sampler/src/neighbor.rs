@@ -95,7 +95,11 @@ impl NeighborSampler {
         }
 
         blocks_rev.reverse();
-        MiniBatch { input_nodes: layer_nodes, seeds: seeds.to_vec(), blocks: blocks_rev }
+        MiniBatch {
+            input_nodes: layer_nodes,
+            seeds: seeds.to_vec(),
+            blocks: blocks_rev,
+        }
     }
 
     /// Sample `plans.len()` mini-batches in parallel (one per trainer),
@@ -159,7 +163,12 @@ mod tests {
 
     fn test_graph() -> CsrGraph {
         let (g, _) = sbm(
-            SbmConfig { num_vertices: 500, communities: 5, avg_degree: 12, p_intra: 0.8 },
+            SbmConfig {
+                num_vertices: 500,
+                communities: 5,
+                avg_degree: 12,
+                p_intra: 0.8,
+            },
             1,
         );
         g.symmetrize()

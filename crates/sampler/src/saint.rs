@@ -19,8 +19,11 @@ use std::collections::HashMap;
 fn induce(graph: &CsrGraph, mut nodes: Vec<VertexId>, layers: usize) -> MiniBatch {
     nodes.sort_unstable();
     nodes.dedup();
-    let local: HashMap<VertexId, u32> =
-        nodes.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let local: HashMap<VertexId, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
     let mut edge_src = Vec::new();
     let mut edge_dst = Vec::new();
     for (si, &v) in nodes.iter().enumerate() {
@@ -32,8 +35,17 @@ fn induce(graph: &CsrGraph, mut nodes: Vec<VertexId>, layers: usize) -> MiniBatc
         }
     }
     let n = nodes.len();
-    let block = Block { num_src: n, num_dst: n, edge_src, edge_dst };
-    MiniBatch { input_nodes: nodes.clone(), seeds: nodes, blocks: vec![block; layers] }
+    let block = Block {
+        num_src: n,
+        num_dst: n,
+        edge_src,
+        edge_dst,
+    };
+    MiniBatch {
+        input_nodes: nodes.clone(),
+        seeds: nodes,
+        blocks: vec![block; layers],
+    }
 }
 
 /// GraphSAINT-Node: sample `budget` vertices with degree-proportional
@@ -54,7 +66,11 @@ impl NodeSampler {
     /// If `budget` or `layers` is zero.
     pub fn new(budget: usize, layers: usize, seed: u64) -> Self {
         assert!(budget > 0 && layers > 0);
-        Self { budget, layers, seed }
+        Self {
+            budget,
+            layers,
+            seed,
+        }
     }
 
     /// Sample one induced subgraph batch.
@@ -107,7 +123,11 @@ impl EdgeSampler {
     /// If `budget` or `layers` is zero.
     pub fn new(budget: usize, layers: usize, seed: u64) -> Self {
         assert!(budget > 0 && layers > 0);
-        Self { budget, layers, seed }
+        Self {
+            budget,
+            layers,
+            seed,
+        }
     }
 
     /// Sample one induced subgraph batch.
@@ -135,7 +155,12 @@ mod tests {
 
     fn graph() -> CsrGraph {
         let (g, _) = sbm(
-            SbmConfig { num_vertices: 400, communities: 4, avg_degree: 10, p_intra: 0.8 },
+            SbmConfig {
+                num_vertices: 400,
+                communities: 4,
+                avg_degree: 10,
+                p_intra: 0.8,
+            },
             9,
         );
         g.symmetrize()
@@ -173,7 +198,10 @@ mod tests {
             }
         }
         let rate = hub_hits as f64 / total as f64;
-        assert!(rate > 0.15, "hub sampling rate only {rate:.3} (uniform would be 0.05)");
+        assert!(
+            rate > 0.15,
+            "hub sampling rate only {rate:.3} (uniform would be 0.05)"
+        );
     }
 
     #[test]

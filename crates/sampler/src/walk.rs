@@ -35,7 +35,12 @@ impl RandomWalkSampler {
     /// If any parameter is zero.
     pub fn new(roots: usize, walk_length: usize, layers: usize, seed: u64) -> Self {
         assert!(roots > 0 && walk_length > 0 && layers > 0);
-        Self { roots, walk_length, layers, seed }
+        Self {
+            roots,
+            walk_length,
+            layers,
+            seed,
+        }
     }
 
     /// Sample the induced subgraph reached by `roots` walks starting at
@@ -45,13 +50,14 @@ impl RandomWalkSampler {
         let mut rng = SmallRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0xA24BAED4963EE407));
         let mut nodes: Vec<VertexId> = Vec::new();
         let mut local: HashMap<VertexId, u32> = HashMap::new();
-        let intern = |v: VertexId, nodes: &mut Vec<VertexId>, local: &mut HashMap<VertexId, u32>| -> u32 {
-            let next = nodes.len() as u32;
-            *local.entry(v).or_insert_with(|| {
-                nodes.push(v);
-                next
-            })
-        };
+        let intern =
+            |v: VertexId, nodes: &mut Vec<VertexId>, local: &mut HashMap<VertexId, u32>| -> u32 {
+                let next = nodes.len() as u32;
+                *local.entry(v).or_insert_with(|| {
+                    nodes.push(v);
+                    next
+                })
+            };
 
         for r in 0..self.roots {
             let mut v = seeds[r % seeds.len()];
@@ -79,9 +85,18 @@ impl RandomWalkSampler {
         }
 
         let n = nodes.len();
-        let block = Block { num_src: n, num_dst: n, edge_src, edge_dst };
+        let block = Block {
+            num_src: n,
+            num_dst: n,
+            edge_src,
+            edge_dst,
+        };
         let blocks = vec![block; self.layers];
-        MiniBatch { input_nodes: nodes.clone(), seeds: nodes, blocks }
+        MiniBatch {
+            input_nodes: nodes.clone(),
+            seeds: nodes,
+            blocks,
+        }
     }
 }
 
@@ -92,7 +107,12 @@ mod tests {
 
     fn g() -> CsrGraph {
         let (g, _) = sbm(
-            SbmConfig { num_vertices: 300, communities: 3, avg_degree: 10, p_intra: 0.8 },
+            SbmConfig {
+                num_vertices: 300,
+                communities: 3,
+                avg_degree: 10,
+                p_intra: 0.8,
+            },
             2,
         );
         g.symmetrize()
@@ -112,7 +132,11 @@ mod tests {
     fn subgraph_size_bounded_by_walk_budget() {
         let s = RandomWalkSampler::new(4, 5, 1, 2);
         let mb = s.sample(&g(), &[0], 0);
-        assert!(mb.input_nodes.len() <= 4 * 6, "visited {}", mb.input_nodes.len());
+        assert!(
+            mb.input_nodes.len() <= 4 * 6,
+            "visited {}",
+            mb.input_nodes.len()
+        );
         assert!(!mb.input_nodes.is_empty());
     }
 

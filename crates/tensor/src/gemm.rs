@@ -245,7 +245,10 @@ mod tests {
         let a = test_mat(130, 64, 0.9);
         let b = test_mat(64, 48, 0.11);
         let reference = gemm_nn(&a, &b);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let single = pool.install(|| gemm_nn(&a, &b));
         assert_eq!(reference.as_slice(), single.as_slice());
     }

@@ -105,7 +105,12 @@ mod tests {
         let m = randn(200, 50, 3);
         let n = m.len() as f32;
         let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

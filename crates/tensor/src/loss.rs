@@ -31,10 +31,13 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> LossOutput {
     let mut grad = Matrix::zeros(rows, cols);
     let mut loss_sum = 0.0f64;
 
-    for r in 0..rows {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
-        let label = labels[r] as usize;
-        assert!(label < cols, "label {label} out of range for {cols} classes");
+        let label = label as usize;
+        assert!(
+            label < cols,
+            "label {label} out of range for {cols} classes"
+        );
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f32;
         for &v in row {
@@ -50,7 +53,10 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> LossOutput {
         }
     }
 
-    LossOutput { loss: (loss_sum * f64::from(inv_batch)) as f32, grad }
+    LossOutput {
+        loss: (loss_sum * f64::from(inv_batch)) as f32,
+        grad,
+    }
 }
 
 /// Fraction of rows whose arg-max logit equals the label.
@@ -64,7 +70,7 @@ pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f32 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for r in 0..rows {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let mut best = 0usize;
         for (c, &v) in row.iter().enumerate() {
@@ -72,7 +78,7 @@ pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f32 {
                 best = c;
             }
         }
-        if best == labels[r] as usize {
+        if best == label as usize {
             correct += 1;
         }
     }

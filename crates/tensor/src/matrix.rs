@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from an existing row-major buffer.
@@ -40,6 +48,35 @@ impl Matrix {
             data.len()
         );
         Self { data, rows, cols }
+    }
+
+    /// Matrix whose contents are unspecified — the caller must overwrite
+    /// every element before reading. Exists so buffer-pool users can
+    /// express "shape without meaningful contents"; the current
+    /// implementation zero-fills (allocation via `calloc` is cheap and
+    /// avoids undefined behaviour on `f32` reads).
+    pub fn uninit(rows: usize, cols: usize) -> Self {
+        Self::zeros(rows, cols)
+    }
+
+    /// Reshape in place to `rows × cols`, reusing the existing
+    /// allocation when capacity allows. Contents are unspecified
+    /// afterwards (elements carried over keep their old values, grown
+    /// area is zero-filled) — callers are expected to overwrite every
+    /// element, as the feature-gather hot path does.
+    ///
+    /// This is the buffer-pool primitive behind
+    /// `gather_features_into`: steady-state training iterations reshape
+    /// recycled matrices instead of allocating fresh ones.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Allocated capacity in elements (for pool-reuse diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Build from a function of `(row, col)`.
@@ -402,5 +439,28 @@ mod tests {
     #[test]
     fn nbytes_counts_payload() {
         assert_eq!(Matrix::zeros(3, 5).nbytes(), 60);
+    }
+
+    #[test]
+    fn resize_keeps_allocation_when_shrinking() {
+        let mut m = Matrix::zeros(100, 8);
+        let cap = m.capacity();
+        m.resize(50, 8);
+        assert_eq!(m.shape(), (50, 8));
+        assert_eq!(m.capacity(), cap, "shrink must not reallocate");
+        m.resize(100, 8);
+        assert_eq!(m.shape(), (100, 8));
+        assert_eq!(
+            m.capacity(),
+            cap,
+            "regrow within capacity must not reallocate"
+        );
+    }
+
+    #[test]
+    fn uninit_has_shape() {
+        let m = Matrix::uninit(4, 3);
+        assert_eq!(m.shape(), (4, 3));
+        assert_eq!(m.len(), 12);
     }
 }

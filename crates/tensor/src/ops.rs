@@ -21,8 +21,16 @@ pub fn relu_inplace(x: &mut Matrix) {
 /// # Panics
 /// On shape mismatch.
 pub fn relu_backward_inplace(grad: &mut Matrix, pre_activation: &Matrix) {
-    assert_eq!(grad.shape(), pre_activation.shape(), "relu_backward shape mismatch");
-    for (g, &z) in grad.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+    assert_eq!(
+        grad.shape(),
+        pre_activation.shape(),
+        "relu_backward shape mismatch"
+    );
+    for (g, &z) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pre_activation.as_slice())
+    {
         if z <= 0.0 {
             *g = 0.0;
         }

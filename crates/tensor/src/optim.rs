@@ -31,12 +31,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Add L2 weight decay.
@@ -96,7 +106,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with default betas (0.9, 0.999) and eps 1e-8.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: Vec::new(), stepped_slots: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+            stepped_slots: 0,
+        }
     }
 
     /// Override the exponential-decay rates.
@@ -121,15 +139,22 @@ impl Optimizer for Adam {
             self.state.resize_with(slot + 1, || None);
         }
         let (m, v) = self.state[slot].get_or_insert_with(|| {
-            (Matrix::zeros(grad.rows(), grad.cols()), Matrix::zeros(grad.rows(), grad.cols()))
+            (
+                Matrix::zeros(grad.rows(), grad.cols()),
+                Matrix::zeros(grad.rows(), grad.cols()),
+            )
         });
         let (b1, b2) = (self.beta1, self.beta2);
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
         let lr_t = self.lr * bc2.sqrt() / bc1;
 
-        let (ms, vs, gs, ps) =
-            (m.as_mut_slice(), v.as_mut_slice(), grad.as_slice(), param.as_mut_slice());
+        let (ms, vs, gs, ps) = (
+            m.as_mut_slice(),
+            v.as_mut_slice(),
+            grad.as_slice(),
+            param.as_mut_slice(),
+        );
         for i in 0..gs.len() {
             ms[i] = b1 * ms[i] + (1.0 - b1) * gs[i];
             vs[i] = b2 * vs[i] + (1.0 - b2) * gs[i] * gs[i];
@@ -184,7 +209,11 @@ mod tests {
             let g = Matrix::full(1, 1, 2.0 * (x[(0, 0)] - 3.0));
             opt.step(0, &mut x, &g);
         }
-        assert!((x[(0, 0)] - 3.0).abs() < 0.05, "adam ended at {}", x[(0, 0)]);
+        assert!(
+            (x[(0, 0)] - 3.0).abs() < 0.05,
+            "adam ended at {}",
+            x[(0, 0)]
+        );
     }
 
     #[test]

@@ -46,21 +46,66 @@ impl Precision {
     /// Simulate a transfer round-trip: quantize + dequantize `x` at this
     /// precision (identity for F32).
     pub fn round_trip(self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.round_trip_in_place(&mut out);
+        out
+    }
+
+    /// In-place transfer round-trip: quantize + dequantize `x` at this
+    /// precision without allocating (identity for F32). Bitwise
+    /// equivalent to [`Precision::round_trip`] — the prefetching
+    /// executor's buffer-pooled hot path relies on that.
+    pub fn round_trip_in_place(self, x: &mut Matrix) {
         match self {
-            Precision::F32 => x.clone(),
+            Precision::F32 => {}
             Precision::F16 => {
-                let mut out = x.clone();
-                for v in out.as_mut_slice() {
+                for v in x.as_mut_slice() {
                     *v = f16_to_f32(f32_to_f16(*v));
                 }
-                out
             }
             Precision::Int8 => {
-                let q = QuantizedMatrix::quantize_int8(x);
-                q.dequantize()
+                for r in 0..x.rows() {
+                    let row = x.row_mut(r);
+                    let (scale, offset) = int8_row_params(row);
+                    for v in row.iter_mut() {
+                        *v = int8_round_trip_value(*v, scale, offset);
+                    }
+                }
             }
         }
     }
+}
+
+/// Per-row affine int8 parameters `(scale, offset)` with the degenerate
+/// range fixed up. Single source of truth shared by
+/// [`QuantizedMatrix::quantize_int8`] and
+/// [`Precision::round_trip_in_place`] — the prefetch determinism
+/// contract requires the two paths to stay bitwise-identical.
+fn int8_row_params(row: &[f32]) -> (f32, f32) {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in row {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo == hi {
+        lo = if lo.is_finite() { lo } else { 0.0 };
+        hi = lo + 1.0;
+    }
+    let scale = (hi - lo) / 254.0;
+    let offset = lo + 127.0 * scale;
+    (scale, offset)
+}
+
+/// Quantize one value to int8 under `(scale, offset)`.
+#[inline]
+fn int8_quantize_value(v: f32, scale: f32, offset: f32) -> i8 {
+    ((v - offset) / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantize-then-dequantize one value under `(scale, offset)`.
+#[inline]
+fn int8_round_trip_value(v: f32, scale: f32, offset: f32) -> f32 {
+    f32::from(int8_quantize_value(v, scale, offset)) * scale + offset
 }
 
 /// Convert f32 to IEEE 754 binary16 bits (round-to-nearest-even).
@@ -152,25 +197,20 @@ impl QuantizedMatrix {
         let mut offsets = Vec::with_capacity(rows);
         for r in 0..rows {
             let row = x.row(r);
-            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-            for &v in row {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-            if !lo.is_finite() || !hi.is_finite() || lo == hi {
-                lo = if lo.is_finite() { lo } else { 0.0 };
-                hi = lo + 1.0;
-            }
-            let scale = (hi - lo) / 254.0;
-            let offset = lo + 127.0 * scale;
+            let (scale, offset) = int8_row_params(row);
             scales.push(scale);
             offsets.push(offset);
             for &v in row {
-                let q = ((v - offset) / scale).round().clamp(-127.0, 127.0);
-                data.push(q as i8);
+                data.push(int8_quantize_value(v, scale, offset));
             }
         }
-        Self { data, scales, offsets, rows, cols }
+        Self {
+            data,
+            scales,
+            offsets,
+            rows,
+            cols,
+        }
     }
 
     /// Reconstruct the f32 matrix.
@@ -219,7 +259,11 @@ mod tests {
     fn f16_specials() {
         assert!(f16_to_f32(f32_to_f16(f32::INFINITY)).is_infinite());
         assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
-        assert_eq!(f16_to_f32(f32_to_f16(1e9)), f32::INFINITY, "overflow saturates");
+        assert_eq!(
+            f16_to_f32(f32_to_f16(1e9)),
+            f32::INFINITY,
+            "overflow saturates"
+        );
         assert_eq!(f16_to_f32(f32_to_f16(1e-20)), 0.0, "underflow flushes");
         // subnormal half survives
         let sub = 3.0e-6f32;
@@ -235,7 +279,9 @@ mod tests {
             let row = x.row(r);
             let (lo, hi) = row
                 .iter()
-                .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
             let step = (hi - lo) / 254.0;
             for (a, b) in row.iter().zip(rt.row(r)) {
                 assert!(
@@ -273,5 +319,24 @@ mod tests {
     fn f32_round_trip_is_identity() {
         let x = randn(5, 5, 9);
         assert_eq!(Precision::F32.round_trip(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn in_place_round_trip_bitwise_matches_allocating() {
+        let x = randn(17, 23, 11);
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let allocated = match p {
+                // exercise the historical allocating paths explicitly
+                Precision::Int8 => QuantizedMatrix::quantize_int8(&x).dequantize(),
+                _ => p.round_trip(&x),
+            };
+            let mut in_place = x.clone();
+            p.round_trip_in_place(&mut in_place);
+            assert_eq!(
+                allocated.as_slice(),
+                in_place.as_slice(),
+                "{p:?} in-place round trip diverged"
+            );
+        }
     }
 }

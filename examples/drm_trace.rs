@@ -19,7 +19,11 @@ fn main() {
     // Deliberately bad start: half the seeds on the CPU trainer, all
     // sampling on the CPU, threads skewed to the loader.
     let mut split = WorkloadSplit::new(2560, 5120, 4);
-    let mut threads = ThreadAlloc { sampler: 4, loader: 100, trainer: 24 };
+    let mut threads = ThreadAlloc {
+        sampler: 4,
+        loader: 100,
+        trainer: 24,
+    };
     let drm = DrmEngine::new(true);
 
     println!("DRM engine trace (papers100M, GCN, CPU + 4x U250), bad initial mapping:\n");

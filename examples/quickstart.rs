@@ -32,11 +32,17 @@ fn main() {
         trainer.split().cpu_quota,
         trainer.split().total
     );
-    println!("test accuracy before training: {:.3}\n", trainer.evaluate(&test_seeds));
+    println!(
+        "test accuracy before training: {:.3}\n",
+        trainer.evaluate(&test_seeds)
+    );
     for report in trainer.train_epochs(8) {
         println!("{report}");
     }
-    println!("\ntest accuracy after training:  {:.3}", trainer.evaluate(&test_seeds));
+    println!(
+        "\ntest accuracy after training:  {:.3}",
+        trainer.evaluate(&test_seeds)
+    );
     println!(
         "final mapping: cpu quota {} seeds/iter, threads {:?}",
         trainer.split().cpu_quota,

@@ -9,12 +9,14 @@
 //!
 //! Run `hyscale <command> --help` for options.
 
-use hyscale::core::{AcceleratorKind, HybridTrainer, PerfModel, SystemConfig};
 use hyscale::core::metrics::TrainingHistory;
+use hyscale::core::{AcceleratorKind, HybridTrainer, PerfModel, SystemConfig};
 use hyscale::device::memory::check_device_placement;
 use hyscale::device::spec::{table_ii, ALVEO_U250, RTX_A5000};
 use hyscale::gnn::GnnKind;
-use hyscale::graph::dataset::{DatasetSpec, ALL_DATASETS, MAG240M_HOMO, OGBN_PAPERS100M, OGBN_PRODUCTS};
+use hyscale::graph::dataset::{
+    DatasetSpec, ALL_DATASETS, MAG240M_HOMO, OGBN_PAPERS100M, OGBN_PRODUCTS,
+};
 use hyscale::graph::features::Splits;
 use std::process::ExitCode;
 

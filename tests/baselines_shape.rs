@@ -2,11 +2,11 @@
 //! wins, in which metric, must match the paper even though absolute
 //! times come from simulation.
 
-use hyscale::baselines::{BaselineSystem, DistDglV2, P3, PaGraph, PygMultiGpu, SotaConfig};
+use hyscale::baselines::{BaselineSystem, DistDglV2, PaGraph, PygMultiGpu, SotaConfig, P3};
+use hyscale::core::{AcceleratorKind, SystemConfig};
 use hyscale::gnn::GnnKind;
 use hyscale::graph::dataset::{OGBN_PAPERS100M, OGBN_PRODUCTS};
 use hyscale_bench::{geo_mean, simulate_epoch, DRM_SETTLE_ITERS};
-use hyscale::core::{AcceleratorKind, SystemConfig};
 
 fn this_work(ds: &hyscale::graph::DatasetSpec, model: GnnKind, sota: &SotaConfig) -> f64 {
     let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), model);
@@ -61,7 +61,8 @@ fn table_vi_we_beat_pagraph_and_p3() {
     for ds in [OGBN_PRODUCTS, OGBN_PAPERS100M] {
         for model in [GnnKind::Gcn, GnnKind::GraphSage] {
             let cfg_a = SotaConfig::pagraph();
-            pagraph_speedups.push(pagraph.epoch_time(&ds, model, &cfg_a) / this_work(&ds, model, &cfg_a));
+            pagraph_speedups
+                .push(pagraph.epoch_time(&ds, model, &cfg_a) / this_work(&ds, model, &cfg_a));
             let cfg_b = SotaConfig::p3();
             p3_speedups.push(p3.epoch_time(&ds, model, &cfg_b) / this_work(&ds, model, &cfg_b));
         }

@@ -36,7 +36,11 @@ fn drm_improves_bad_mapping() {
     // pathological start: half the batch on the CPU trainer, starved
     // sampler threads
     let mut split = WorkloadSplit::new(2560, 5120, 4);
-    let mut threads = ThreadAlloc { sampler: 2, loader: 2, trainer: 124 };
+    let mut threads = ThreadAlloc {
+        sampler: 2,
+        loader: 2,
+        trainer: 124,
+    };
     let (first, best) = settle(&cfg, &mut split, &mut threads, 120);
     assert!(
         best < first * 0.7,

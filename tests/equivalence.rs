@@ -8,6 +8,9 @@
 //!   exactly the gradients of a sequential reduction over the same
 //!   batches;
 //! * the timing-layer optimizations (TFP) change no numerics at all;
+//! * the *real* prefetching pipeline (background producer + bounded
+//!   queue, `prefetch_depth > 0`) trains bitwise-identical weights to
+//!   serial execution, including across DRM re-mapping events;
 //! * replicas stay in bitwise lock-step across iterations.
 
 use hyscale::core::protocol::TrainingRound;
@@ -36,15 +39,16 @@ fn parallel_allreduce_matches_sequential() {
             start += q;
             let mb = sampler.sample(&ds.graph, &seeds, q as u64);
             let x = gather_features(&ds.data.features, &mb.input_nodes);
-            let labels: Vec<u32> =
-                seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
+            let labels: Vec<u32> = seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
             (mb, x, labels)
         })
         .collect();
 
     // sequential reference
-    let seq_parts: Vec<Gradients> =
-        work.iter().map(|(mb, x, l)| model.train_step(mb, x, l).grads).collect();
+    let seq_parts: Vec<Gradients> = work
+        .iter()
+        .map(|(mb, x, l)| model.train_step(mb, x, l).grads)
+        .collect();
     let seq_avg = Gradients::weighted_average(&seq_parts);
 
     // parallel via the training protocol
@@ -84,13 +88,20 @@ fn tfp_does_not_change_numerics() {
         let ds = Dataset::toy(11);
         let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
         cfg.platform.num_accelerators = 2;
-        cfg.opt = OptFlags { hybrid: true, drm: false, tfp };
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: false,
+            tfp,
+        };
         cfg.train.batch_per_trainer = 64;
         cfg.train.fanouts = vec![6, 3];
         cfg.train.hidden_dim = 16;
         cfg.train.max_functional_iters = Some(4);
         let mut t = HybridTrainer::new(cfg, ds);
-        t.set_mapping(WorkloadSplit::new(64, 192, 2), ThreadAlloc::default_for(128));
+        t.set_mapping(
+            WorkloadSplit::new(64, 192, 2),
+            ThreadAlloc::default_for(128),
+        );
         t.train_epochs(3);
         t.model().flatten_params()
     };
@@ -107,13 +118,20 @@ fn accelerator_kind_does_not_change_numerics() {
         let ds = Dataset::toy(13);
         let mut cfg = SystemConfig::paper_default(accel, GnnKind::GraphSage);
         cfg.platform.num_accelerators = 2;
-        cfg.opt = OptFlags { hybrid: true, drm: false, tfp: true };
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: false,
+            tfp: true,
+        };
         cfg.train.batch_per_trainer = 48;
         cfg.train.fanouts = vec![5, 3];
         cfg.train.hidden_dim = 16;
         cfg.train.max_functional_iters = Some(3);
         let mut t = HybridTrainer::new(cfg, ds);
-        t.set_mapping(WorkloadSplit::new(48, 144, 2), ThreadAlloc::default_for(128));
+        t.set_mapping(
+            WorkloadSplit::new(48, 144, 2),
+            ThreadAlloc::default_for(128),
+        );
         t.train_epochs(2);
         t.model().flatten_params()
     };
@@ -122,6 +140,94 @@ fn accelerator_kind_does_not_change_numerics() {
         run(AcceleratorKind::a5000()),
         "device choice altered training numerics"
     );
+}
+
+/// The real prefetching pipeline is pure wall-clock overlap: for every
+/// depth in {1, 2, 4}, final weights are bitwise-identical to serial
+/// execution (`depth = 0`). DRM is pinned off here so the whole epoch
+/// runs through an uninterrupted producer queue.
+#[test]
+fn prefetch_depths_are_bitwise_identical_to_serial() {
+    use hyscale::core::drm::{ThreadAlloc, WorkloadSplit};
+    let run = |depth: usize| {
+        let ds = Dataset::toy(29);
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::GraphSage);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: false,
+            tfp: true,
+        };
+        cfg.train.batch_per_trainer = 48;
+        cfg.train.fanouts = vec![6, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(5);
+        cfg.train.prefetch_depth = depth;
+        let mut t = HybridTrainer::new(cfg, ds);
+        t.set_mapping(
+            WorkloadSplit::new(48, 144, 2),
+            ThreadAlloc::default_for(128),
+        );
+        t.train_epochs(3);
+        t.model().flatten_params()
+    };
+    let serial = run(0);
+    for depth in [1usize, 2, 4] {
+        assert_eq!(
+            serial,
+            run(depth),
+            "prefetch depth {depth} altered training numerics"
+        );
+    }
+}
+
+/// Same bitwise contract with the DRM engine *live*: its balance_work
+/// moves change per-trainer quotas mid-epoch, forcing the producer
+/// queue to drain and restart — and the weights must still match serial
+/// execution exactly, with the re-mapping events themselves identical.
+#[test]
+fn prefetch_is_bitwise_identical_across_drm_remapping() {
+    let run = |depth: usize| {
+        let ds = Dataset::toy(31);
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: true,
+            tfp: true,
+        };
+        cfg.train.batch_per_trainer = 64;
+        cfg.train.fanouts = vec![6, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(8);
+        cfg.train.prefetch_depth = depth;
+        let mut t = HybridTrainer::new(cfg, ds);
+        let reports = t.train_epochs(2);
+        let remap_events: Vec<(usize, usize)> = reports
+            .iter()
+            .flat_map(|r| r.trace.iter())
+            .map(|it| (it.iter, it.cpu_quota))
+            .collect();
+        let restarts: usize = reports.iter().map(|r| r.prefetch_restarts).sum();
+        (t.model().flatten_params(), remap_events, restarts)
+    };
+    let (serial_params, serial_events, _) = run(0);
+    for depth in [1usize, 2, 4] {
+        let (params, events, restarts) = run(depth);
+        assert_eq!(
+            serial_events, events,
+            "depth {depth} saw different DRM re-mapping trajectory"
+        );
+        assert_eq!(
+            serial_params, params,
+            "prefetch depth {depth} diverged from serial across DRM re-mapping"
+        );
+        assert!(
+            restarts > 0,
+            "depth {depth}: DRM never invalidated the producer queue — \
+             the re-mapping path went unexercised"
+        );
+    }
 }
 
 /// DRM re-partitions batches (a different but equally-valid sync-SGD
@@ -133,7 +239,11 @@ fn drm_preserves_convergence() {
         let test = ds.splits.test.clone();
         let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
         cfg.platform.num_accelerators = 2;
-        cfg.opt = OptFlags { hybrid: true, drm, tfp: true };
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm,
+            tfp: true,
+        };
         cfg.train.batch_per_trainer = 96;
         cfg.train.fanouts = vec![8, 4];
         cfg.train.hidden_dim = 32;
@@ -147,5 +257,8 @@ fn drm_preserves_convergence() {
     let without = run(false);
     assert!(with_drm > 0.85, "DRM run accuracy {with_drm}");
     assert!(without > 0.85, "static run accuracy {without}");
-    assert!((with_drm - without).abs() < 0.1, "DRM changed accuracy band: {with_drm} vs {without}");
+    assert!(
+        (with_drm - without).abs() < 0.1,
+        "DRM changed accuracy band: {with_drm} vs {without}"
+    );
 }

@@ -158,8 +158,11 @@ fn saint_samplers_train_gcn() {
             edge_sampler.sample(&ds.graph, step)
         };
         let x = gather_features(&ds.data.features, &mb.input_nodes);
-        let labels: Vec<u32> =
-            mb.seeds.iter().map(|&s| ds.data.labels[s as usize]).collect();
+        let labels: Vec<u32> = mb
+            .seeds
+            .iter()
+            .map(|&s| ds.data.labels[s as usize])
+            .collect();
         let out = model.train_step(&mb, &x, &labels);
         model.apply_gradients(&out.grads, &mut opt);
         if first.is_none() {
@@ -168,5 +171,8 @@ fn saint_samplers_train_gcn() {
         last = out.loss;
     }
     let first = first.unwrap();
-    assert!(last < first * 0.6, "SAINT training stalled: {first} -> {last}");
+    assert!(
+        last < first * 0.6,
+        "SAINT training stalled: {first} -> {last}"
+    );
 }

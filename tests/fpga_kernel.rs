@@ -71,8 +71,7 @@ fn duplicator_traffic_is_o_v0_not_o_e() {
     let f = 32usize;
     let h = randn(n_src, f, 5);
     let coef = vec![1.0f32; block.num_edges()];
-    let run =
-        simulate_aggregation(&block, &h, &coef, &[], &FpgaKernelConfig::default(), false);
+    let run = simulate_aggregation(&block, &h, &coef, &[], &FpgaKernelConfig::default(), false);
     // every referenced source row is read at most once
     let max_v0_bytes = (n_src * f * 4) as u64;
     assert!(
@@ -120,12 +119,19 @@ fn full_layer_on_chip_dataflow() {
 #[test]
 fn table_iv_configuration_fits_and_runs() {
     let usage = ResourceUsage::estimate(8, 2048, &U250_RESOURCES);
-    assert!(usage.fits(), "the paper's (8, 2048) kernel must fit the U250");
+    assert!(
+        usage.fits(),
+        "the paper's (8, 2048) kernel must fit the U250"
+    );
     // and a kernel with that geometry actually processes a batch
     let (block, n_src) = sampled_block();
     let h = randn(n_src, 8, 8);
     let coef = vec![0.5f32; block.num_edges()];
-    let cfg = FpgaKernelConfig { n_pes: 8, m_macs: 2048, ..Default::default() };
+    let cfg = FpgaKernelConfig {
+        n_pes: 8,
+        m_macs: 2048,
+        ..Default::default()
+    };
     let run = simulate_aggregation(&block, &h, &coef, &[], &cfg, true);
     assert!(run.cycles > 0);
     assert!(run.result.as_slice().iter().all(|v| v.is_finite()));

@@ -41,7 +41,11 @@ fn fit_records_history_and_stops_early() {
     // toy data converges fast: with patience 2, fit should stop well
     // before 40 epochs
     let history = trainer.fit(40, &val, Some(2));
-    assert!(history.epochs() < 40, "early stopping never fired ({} epochs)", history.epochs());
+    assert!(
+        history.epochs() < 40,
+        "early stopping never fired ({} epochs)",
+        history.epochs()
+    );
     assert!(history.best_val_accuracy().unwrap() > 0.85);
     assert_eq!(history.val_accuracy.len(), history.epochs());
     assert!(history.mean_epoch_time().unwrap() > 0.0);

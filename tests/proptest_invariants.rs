@@ -1,15 +1,14 @@
 //! Property-based tests over the core data structures and kernels.
 
+use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+use hyscale::core::StageTimes;
 use hyscale::gnn::aggregate::{
-    aggregate_gcn, aggregate_gcn_backward, aggregate_mean, aggregate_mean_backward,
-    GcnCoefficients,
+    aggregate_gcn, aggregate_gcn_backward, aggregate_mean, aggregate_mean_backward, GcnCoefficients,
 };
 use hyscale::gnn::Gradients;
 use hyscale::graph::{CsrGraph, GraphBuilder};
 use hyscale::sampler::{Block, NeighborSampler};
 use hyscale::tensor::{gemm_nn, Matrix};
-use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
-use hyscale::core::StageTimes;
 use proptest::prelude::*;
 
 fn edge_list(max_v: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {

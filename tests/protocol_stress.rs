@@ -30,7 +30,7 @@ fn sixteen_trainers_fifty_iterations() {
                 let round = Arc::clone(&round);
                 s.spawn(move || {
                     // stagger completions to shuffle arrival order
-                    if (i + iter as usize) % 3 == 0 {
+                    if (i + iter as usize).is_multiple_of(3) {
                         thread::sleep(Duration::from_micros(50));
                     }
                     let avg = round.trainer_done(i, grad(i as f32, 10 + i));

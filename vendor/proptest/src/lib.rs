@@ -1,0 +1,259 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the property-testing surface the workspace uses: the
+//! [`Strategy`] trait over ranges / tuples / `Just` / `prop::collection::
+//! vec`, `prop_flat_map`, the `proptest!` macro (with optional
+//! `#![proptest_config]`), and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking and no failure
+//! persistence: each test runs a fixed number of cases generated from a
+//! seed derived from the test's name, so failures reproduce
+//! deterministically across runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange};
+use std::ops::Range;
+
+// Re-exported so the `proptest!` macro can name it via `$crate::rand`
+// without requiring consumers to depend on rand themselves.
+#[doc(hidden)]
+pub use rand;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing a single fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Dependent-strategy combinator produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let base = self.base.generate(rng);
+        (self.f)(base).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy namespace mirroring proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s of `elem`-generated values with a length
+        /// drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Vector of values from `elem`, length in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Deterministic seed for a test, derived from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Property-test assertion (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                <$crate::rand::rngs::SmallRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+            for _case in 0..config.cases {
+                let strategy = ($($strat,)*);
+                let ($($pat,)*) = strategy.generate(&mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_items!{$cfg; $($rest)*}
+    };
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{$crate::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair(max: usize) -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (2..max).prop_flat_map(move |n| {
+            let items = prop::collection::vec(0..n as u32, 0..10);
+            (Just(n), items)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in -1.5f32..1.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, items) in pair(40)) {
+            prop_assert!((2..40).contains(&n));
+            for &v in &items {
+                prop_assert!((v as usize) < n, "item {v} out of range {n}");
+            }
+        }
+
+        #[test]
+        fn vec_of_tuples(v in prop::collection::vec((0.0f64..1.0, 0u32..5), 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (f, i) in v {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert_eq!(i.min(4), i);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+        assert_eq!(super::seed_for("x"), super::seed_for("x"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the API surface the workspace uses: a seedable
+//! [`rngs::SmallRng`] plus the [`Rng`]/[`SeedableRng`] traits with
+//! `gen`, `gen_bool`, and `gen_range` over integer and float ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation workloads and fully deterministic from a `u64`
+//! seed, which is all the workspace's reproducibility contracts require.
+//! Stream values differ from upstream `rand`'s `SmallRng`, which is fine:
+//! no test in this workspace asserts specific draw values, only
+//! determinism and distributional properties.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Object-safe core of a generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be drawn uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from the generator's standard distribution.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn draw(rng: &mut dyn RngCore) -> f32 {
+        // 24 mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(rng: &mut dyn RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Debiased uniform integer in `[0, bound)` via multiply-shift rejection.
+#[inline]
+fn uniform_below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= low.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // full-width inclusive range
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as Standard>::draw(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = <$t as Standard>::draw(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// User-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value of `T`'s standard distribution (`[0,1)` for floats).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Uniform draw from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let a_draws: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let c_draws: Vec<u64> = (0..8).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_ne!(a_draws, c_draws);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=5u32);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let g = rng.gen_range(f32::EPSILON..1.0);
+            assert!(g > 0.0 && g < 1.0);
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let p: f64 = (0..n)
+            .map(|_| if rng.gen_bool(0.3) { 1.0 } else { 0.0 })
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "bernoulli {p}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Workspace-local stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the small parallel-iterator surface the workspace
+//! uses — `par_iter`, `par_chunks_mut`, and the `zip`/`enumerate`/`map`/
+//! `for_each`/`collect` combinators on top of them — with real
+//! data-parallelism via `std::thread::scope` over contiguous index
+//! ranges.
+//!
+//! Unlike rayon there is no work-stealing pool: each parallel call
+//! spawns up to [`max_threads`] scoped threads and joins them before
+//! returning. Small inputs (below [`SEQ_THRESHOLD`] items) run inline on
+//! the caller thread, so fine-grained kernels (tiny GEMMs in gradient
+//! checks) pay no spawn overhead. Results of `map`/`collect` preserve
+//! input order, and every `for_each` partition owns a disjoint slice, so
+//! parallel execution is deterministic wherever the closures are.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Items below this count run sequentially on the caller thread.
+pub const SEQ_THRESHOLD: usize = 4;
+
+/// Worker-thread cap for one parallel call: a [`ThreadPool::install`]
+/// override on the current thread if active, else the machine's
+/// available parallelism (overridable via `HYSCALE_RAYON_THREADS`).
+pub fn max_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(|c| c.get());
+    if overridden != 0 {
+        return overridden;
+    }
+    static CACHE: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("HYSCALE_RAYON_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHE.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Split `len` items into at most `max_threads()` contiguous ranges and
+/// run `work(start, end)` for each, in parallel when worthwhile.
+fn run_partitioned<F>(len: usize, work: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = max_threads().min(len);
+    if threads <= 1 || len < SEQ_THRESHOLD {
+        work(0, len);
+        return;
+    }
+    let per = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut start = per; // range 0 runs on the caller thread
+        for _ in 1..threads {
+            let end = (start + per).min(len);
+            if start >= end {
+                break;
+            }
+            let (s, e) = (start, end);
+            scope.spawn(move || work(s, e));
+            start = end;
+        }
+        work(0, per.min(len));
+    });
+}
+
+/// Parallel shared-reference iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIterEnumerate<'a, T> {
+        ParIterEnumerate { items: self.items }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        run_partitioned(items.len(), |s, e| {
+            for item in &items[s..e] {
+                f(item);
+            }
+        });
+    }
+
+    /// Map every item through `f` (applied in parallel, order-preserving
+    /// on collect).
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParIterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Enumerated parallel iterator.
+pub struct ParIterEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIterEnumerate<'a, T> {
+    /// Map every `(index, item)` pair through `f`.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every `(index, item)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a T)) + Sync,
+    {
+        let items = self.items;
+        run_partitioned(items.len(), |s, e| {
+            for (i, item) in items[s..e].iter().enumerate() {
+                f((s + i, item));
+            }
+        });
+    }
+}
+
+/// Order-preserving parallel map over `(index, item)` pairs.
+pub struct ParEnumMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> ParEnumMap<'a, T, F> {
+    /// Materialize the mapped values in input order.
+    pub fn collect<C: FromParVec<R>>(self) -> C {
+        C::from_par_vec(collect_indexed(self.items.len(), |i| {
+            (self.f)((i, &self.items[i]))
+        }))
+    }
+}
+
+/// Order-preserving parallel map over items.
+pub struct ParIterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParIterMap<'a, T, F> {
+    /// Materialize the mapped values in input order.
+    pub fn collect<C: FromParVec<R>>(self) -> C {
+        C::from_par_vec(collect_indexed(self.items.len(), |i| {
+            (self.f)(&self.items[i])
+        }))
+    }
+}
+
+/// Run `produce(i)` for `0..len` in parallel, collecting results in order.
+fn collect_indexed<R: Send, P: Fn(usize) -> R + Sync>(len: usize, produce: P) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let base = out.as_mut_ptr() as usize;
+    run_partitioned(len, |s, e| {
+        for i in s..e {
+            // SAFETY: each index is written by exactly one partition, the
+            // slot holds `None` (no drop needed), and `out` outlives the
+            // scoped threads inside `run_partitioned`.
+            unsafe {
+                std::ptr::write((base as *mut Option<R>).add(i), Some(produce(i)));
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("parallel map slot filled"))
+        .collect()
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Zip chunks with the items of `other` (stops at the shorter side).
+    pub fn zip<'b, U: Sync>(self, other: ParIter<'b, U>) -> ParChunksZip<'a, 'b, T, U> {
+        ParChunksZip {
+            slice: self.slice,
+            size: self.size,
+            items: other.items,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'c> Fn(&'c mut [T]) + Sync,
+    {
+        let size = self.size;
+        let n = self.slice.len().div_ceil(size);
+        let base = self.slice.as_mut_ptr() as usize;
+        let total = self.slice.len();
+        run_partitioned(n, |s, e| {
+            for c in s..e {
+                // SAFETY: chunk `c` spans [c*size, min((c+1)*size, total)),
+                // ranges are disjoint across partitions, and the borrow of
+                // `self.slice` outlives the scoped threads.
+                let start = c * size;
+                let end = ((c + 1) * size).min(total);
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                };
+                f(chunk);
+            }
+        });
+    }
+}
+
+/// Enumerated mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'c> Fn((usize, &'c mut [T])) + Sync,
+    {
+        let size = self.size;
+        let n = self.slice.len().div_ceil(size);
+        let base = self.slice.as_mut_ptr() as usize;
+        let total = self.slice.len();
+        run_partitioned(n, |s, e| {
+            for c in s..e {
+                // SAFETY: disjoint chunks, see ParChunksMut::for_each.
+                let start = c * size;
+                let end = ((c + 1) * size).min(total);
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                };
+                f((c, chunk));
+            }
+        });
+    }
+}
+
+/// Mutable chunks zipped with shared items.
+pub struct ParChunksZip<'a, 'b, T, U> {
+    slice: &'a mut [T],
+    size: usize,
+    items: &'b [U],
+}
+
+impl<'a, 'b, T: Send, U: Sync> ParChunksZip<'a, 'b, T, U> {
+    /// Apply `f` to every `(chunk, item)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: for<'c> Fn((&'c mut [T], &'b U)) + Sync,
+    {
+        let size = self.size;
+        let n = self.slice.len().div_ceil(size).min(self.items.len());
+        let base = self.slice.as_mut_ptr() as usize;
+        let total = self.slice.len();
+        let items = self.items;
+        run_partitioned(n, |s, e| {
+            for (c, item) in items.iter().enumerate().take(e).skip(s) {
+                // SAFETY: disjoint chunks, see ParChunksMut::for_each.
+                let start = c * size;
+                let end = ((c + 1) * size).min(total);
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                };
+                f((chunk, item));
+            }
+        });
+    }
+}
+
+/// Builder for a scoped thread-pool configuration, mirroring
+/// `rayon::ThreadPoolBuilder`. The shim has no persistent pool; the
+/// built [`ThreadPool`] simply overrides [`max_threads`] (via the
+/// `HYSCALE_RAYON_THREADS` mechanism's thread-local equivalent) for the
+/// duration of an [`ThreadPool::install`] call.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// A configured pool handle; see [`ThreadPoolBuilder`].
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread-count cap applied to every
+    /// parallel call `op` makes on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads.unwrap_or(0)));
+        let out = op();
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Conversion from an order-preserving parallel collection result.
+pub trait FromParVec<R> {
+    /// Build the collection from per-index results.
+    fn from_par_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParVec<R> for Vec<R> {
+    fn from_par_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Extension trait providing `par_iter` on slices.
+pub trait ParallelSlice<T> {
+    /// Parallel shared iterator over the items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Extension trait providing `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over disjoint mutable chunks of length `size`
+    /// (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// The rayon prelude: extension traits for parallel iteration.
+pub mod prelude {
+    pub use crate::{FromParVec, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_zip_matches_serial() {
+        let indices: Vec<u32> = (0..1000).map(|i| (i * 7) % 500).collect();
+        let src: Vec<f32> = (0..500 * 8).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; indices.len() * 8];
+        out.par_chunks_mut(8)
+            .zip(indices.par_iter())
+            .for_each(|(dst, &s)| {
+                dst.copy_from_slice(&src[s as usize * 8..(s as usize + 1) * 8]);
+            });
+        for (i, &idx) in indices.iter().enumerate() {
+            assert_eq!(out[i * 8], (idx * 8) as f32);
+        }
+    }
+
+    #[test]
+    fn enumerate_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..503).collect();
+        let out: Vec<u64> = xs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
+        assert_eq!(out.len(), 503);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn chunks_enumerate_covers_all() {
+        let mut data = vec![0usize; 1001];
+        data.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = blk + 1;
+                }
+            });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1000], 1001usize.div_ceil(64));
+    }
+
+    #[test]
+    fn map_collect_small_input_runs_inline() {
+        let xs = [1, 2, 3];
+        let out: Vec<i32> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}
