@@ -1,5 +1,5 @@
 //! GraphACT/HP-GNN-style single-accelerator, device-resident baseline
-//! (paper §VII: "works like GraphACT [9] and HP-GNN [17] store the input
+//! (paper §VII: "works like GraphACT \[9] and HP-GNN \[17] store the input
 //! graph in the device memory, and thus cannot support large-scale
 //! graphs").
 //!

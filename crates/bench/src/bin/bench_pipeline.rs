@@ -90,6 +90,8 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let cfg = config(DEPTH);
+    let numa_domains = cfg.platform.numa_domains();
     let dataset = dataset();
     eprintln!(
         "bench_pipeline: {} @ 1/{} scale, {} epochs ({} warm-up), prefetch depth {DEPTH}, {cpus} cpu(s)",
@@ -116,9 +118,12 @@ fn main() {
     let predicted =
         simulate_pipeline(&costs, n, 0).makespan / simulate_pipeline(&costs, n, DEPTH).makespan;
 
-    let overlap =
-        WallStageTimes::mean_of(prefetched.iter().map(|r| &r.wall_stages)).overlap_factor();
+    let prefetch_means = WallStageTimes::mean_of(prefetched.iter().map(|r| &r.wall_stages));
+    let overlap = prefetch_means.overlap_factor();
     let restarts: usize = prefetched.iter().map(|r| r.prefetch_restarts).sum();
+    // Settled worker-pool widths the producer dispatched on (the logical
+    // ThreadAlloc; effective threads are capped by `cpus`).
+    let alloc = prefetch_means.threads;
 
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"dataset\": \"{}\",\n  \"scale\": {},\n  \
@@ -129,7 +134,9 @@ fn main() {
          \"serial_stage_walls_s\": {{\"sample\": {:.6}, \"load\": {:.6}, \
          \"transfer\": {:.6}, \"train\": {:.6}}},\n  \
          \"speedup_vs_serial\": {:.4},\n  \"predicted_speedup\": {:.4},\n  \
-         \"overlap_factor\": {:.4},\n  \"drm_queue_restarts\": {}\n}}\n",
+         \"overlap_factor\": {:.4},\n  \"drm_queue_restarts\": {},\n  \
+         \"numa_domains\": {},\n  \"thread_alloc\": {{\"sampler\": {}, \"loader\": {}, \
+         \"trainer\": {}}}\n}}\n",
         dataset.spec.name,
         dataset.scale,
         cpus,
@@ -148,6 +155,10 @@ fn main() {
         predicted,
         overlap,
         restarts,
+        numa_domains,
+        alloc.sampler,
+        alloc.loader,
+        alloc.trainer,
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");

@@ -17,6 +17,16 @@ use crate::stages::{Stage, StageTimes};
 /// Per-iteration seed quotas: one CPU trainer plus `num_accelerators`
 /// identical accelerator trainers. The invariant `cpu_quota +
 /// Σ accel = total` holds across every DRM move.
+///
+/// ```
+/// use hyscale_core::WorkloadSplit;
+///
+/// let mut split = WorkloadSplit::new(1024, 5120, 4);
+/// assert_eq!(split.quotas(), vec![1024, 1024, 1024, 1024, 1024]);
+/// split.shift_to_cpu(100); // a balance_work move
+/// assert_eq!(split.cpu_quota, 1124);
+/// assert_eq!(split.quotas().iter().sum::<usize>(), 5120); // invariant
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSplit {
     /// Seeds assigned to the CPU trainer each iteration.
@@ -86,7 +96,22 @@ impl WorkloadSplit {
 }
 
 /// CPU worker-thread allocation across the CPU-resident tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// This is the DRM's *model* of the thread budget; the executor mirrors
+/// it into live [`StageWorkers`](crate::stages::StageWorkers) pools so a
+/// `balance_thread` move re-sizes the partition widths the prefetch
+/// producer actually dispatches on.
+///
+/// ```
+/// use hyscale_core::ThreadAlloc;
+///
+/// let alloc = ThreadAlloc::default_for(128);
+/// assert_eq!(alloc.total(), 128);
+/// assert_eq!(alloc.trainer, 64); // 25% / 25% / 50% design-time split
+/// ```
+///
+/// The all-zero [`Default`] means "unrecorded" in wall-clock reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadAlloc {
     /// Threads running the Mini-batch Sampler.
     pub sampler: usize,
@@ -116,7 +141,8 @@ impl ThreadAlloc {
         self.sampler + self.loader + self.trainer
     }
 
-    fn get(&self, stage: Stage) -> usize {
+    /// Threads budgeted to `stage` (0 for non-CPU tasks).
+    pub fn threads_for(&self, stage: Stage) -> usize {
         match stage {
             Stage::SampleCpu => self.sampler,
             Stage::Load => self.loader,
@@ -161,6 +187,27 @@ pub enum DrmAction {
 }
 
 /// The bottleneck-guided optimizer of Algorithm 1.
+///
+/// One [`adjust`](Self::adjust) call inspects the latest stage times and
+/// mutates the mapping for the next iteration:
+///
+/// ```
+/// use hyscale_core::{DrmEngine, ThreadAlloc, WorkloadSplit};
+/// use hyscale_core::drm::DrmAction;
+/// use hyscale_core::stages::StageTimes;
+///
+/// let engine = DrmEngine::new(true);
+/// let mut split = WorkloadSplit::new(1024, 5120, 4);
+/// let mut threads = ThreadAlloc::default_for(64);
+/// // the bundled transfer + accelerator-training task is the bottleneck
+/// let times = StageTimes {
+///     sample_cpu: 0.1, sample_accel: 0.1, load: 0.2,
+///     transfer: 0.5, train_cpu: 0.3, train_accel: 2.0, sync: 0.0,
+/// };
+/// let action = engine.adjust(&times, &mut split, &mut threads);
+/// assert!(matches!(action, DrmAction::BalanceWork { to_cpu } if to_cpu > 0));
+/// assert!(split.cpu_quota > 1024); // seeds moved toward the CPU trainer
+/// ```
 #[derive(Debug, Clone)]
 pub struct DrmEngine {
     /// Fraction of the total batch moved per `balance_work` call.
@@ -316,7 +363,7 @@ impl DrmEngine {
         ];
         let donor = cpu_tasks
             .iter()
-            .filter(|(s, _)| *s != to && threads.get(*s) > 1)
+            .filter(|(s, _)| *s != to && threads.threads_for(*s) > 1)
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
         match donor {
             Some(&(from, _)) => {

@@ -36,6 +36,7 @@ use crate::perf_model::{compute_stage_times, PerfModel, StageInputs};
 use crate::prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration};
 use crate::protocol::TrainingRound;
 use crate::report::{EpochReport, IterationReport, WallStageTimes};
+use crate::stages::StageWorkers;
 use crate::sync::Synchronizer;
 use hyscale_device::calib;
 use hyscale_gnn::{GnnModel, Gradients};
@@ -57,6 +58,7 @@ pub struct HybridTrainer {
     batcher: EpochBatcher,
     split: WorkloadSplit,
     threads: ThreadAlloc,
+    workers: Arc<StageWorkers>,
     drm: DrmEngine,
     sync: Synchronizer,
     pool: Arc<MatrixPool>,
@@ -77,6 +79,7 @@ impl HybridTrainer {
         let batcher = EpochBatcher::new(dataset.splits.train.clone(), cfg.train.seed ^ 0xb00b);
         let pm = PerfModel::new(&cfg);
         let (split, threads) = pm.initial_mapping(&dataset.spec);
+        let workers = Arc::new(StageWorkers::from_alloc(&threads));
         let drm = DrmEngine::new(cfg.opt.hybrid);
         Self {
             cfg,
@@ -88,6 +91,7 @@ impl HybridTrainer {
             batcher,
             split,
             threads,
+            workers,
             drm,
             sync: Synchronizer::new(),
             pool: Arc::new(MatrixPool::new()),
@@ -119,6 +123,13 @@ impl HybridTrainer {
         );
         self.split = split;
         self.threads = threads;
+        self.workers.apply(&self.threads);
+    }
+
+    /// The live CPU worker pools (sampler / loader / trainer) the real
+    /// pipeline dispatches on; widths mirror [`Self::thread_alloc`].
+    pub fn workers(&self) -> &StageWorkers {
+        &self.workers
     }
 
     /// The replicated model (read access for evaluation).
@@ -150,6 +161,7 @@ impl HybridTrainer {
         );
         self.split = split;
         self.threads = ckpt.thread_alloc();
+        self.workers.apply(&self.threads);
         self.next_epoch = ckpt.epoch;
     }
 
@@ -233,6 +245,8 @@ impl HybridTrainer {
             sampler: self.sampler.clone(),
             precision: self.cfg.train.transfer_precision,
             hybrid: self.cfg.opt.hybrid,
+            workers: Arc::clone(&self.workers),
+            numa_domains: self.cfg.platform.numa_domains(),
         });
         let mut feed = IterationFeed::new(
             ctx,
@@ -264,6 +278,7 @@ impl HybridTrainer {
                 sample_wall_s,
                 load_wall_s,
                 transfer_wall_s,
+                threads: observed_threads,
                 ..
             } = prepared;
 
@@ -306,6 +321,8 @@ impl HybridTrainer {
             let round = Arc::new(TrainingRound::new(work.len()));
             let model = &self.model;
             let sync = &self.sync;
+            let workers = &self.workers;
+            let hybrid = self.cfg.opt.hybrid;
             let mut results: Vec<(usize, f32, f32, usize)> = Vec::with_capacity(work.len());
             let mut averaged: Option<Arc<Gradients>> = None;
             std::thread::scope(|scope| {
@@ -315,7 +332,16 @@ impl HybridTrainer {
                     .map(|(slot, (idx, mb, x, labels))| {
                         let round = Arc::clone(&round);
                         scope.spawn(move || {
-                            let out = model.train_step(mb, x, labels);
+                            // The CPU trainer's kernels run under the
+                            // trainer pool's width; accelerator trainers
+                            // are simulated and keep the default.
+                            let out = if hybrid && *idx == 0 {
+                                workers
+                                    .trainer()
+                                    .install(|| model.train_step(mb, x, labels))
+                            } else {
+                                model.train_step(mb, x, labels)
+                            };
                             let batch = labels.len();
                             let loss = out.loss;
                             let acc = out.accuracy;
@@ -383,8 +409,14 @@ impl HybridTrainer {
             // A balance_work move changed the per-trainer quotas: drain
             // the prefetch queue and restart the producer under the new
             // split before it takes effect (the determinism contract).
-            if matches!(action, DrmAction::BalanceWork { .. }) {
-                feed.invalidate(iter + 1, self.split.quotas());
+            // A balance_thread move only shifts the thread budget, so it
+            // re-sizes the shared worker pools in place — the producer
+            // picks the new widths up on its next dispatch and measured
+            // stage walls shift without losing prepared iterations.
+            match action {
+                DrmAction::BalanceWork { .. } => feed.invalidate(iter + 1, self.split.quotas()),
+                DrmAction::BalanceThread { .. } => feed.rebalance_threads(&self.threads),
+                _ => {}
             }
 
             trace.push(IterationReport {
@@ -402,6 +434,7 @@ impl HybridTrainer {
                     transfer_s: transfer_wall_s,
                     train_s: train_wall_s,
                     iter_s: iter_wall.elapsed().as_secs_f64(),
+                    threads: observed_threads,
                 },
             });
         }

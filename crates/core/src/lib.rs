@@ -15,18 +15,25 @@
 //! * [`perf_model`] — the design-time performance model (paper §V,
 //!   Eq. 5–13) used for the initial task mapping and the scalability
 //!   study.
+//! * [`stages`] — the pipeline-stage vocabulary plus
+//!   [`StageWorkers`]: the live, resizable worker
+//!   pools (sampler / loader / trainer) through which DRM
+//!   `balance_thread` decisions steer the *real* pipeline.
 //! * [`prefetch`] — Task-level Feature Prefetching as a *real*
-//!   pipeline (paper §IV-B): a background producer samples, gathers and
-//!   precision-round-trips iterations into a bounded queue, overlapped
-//!   with GNN propagation, with pool-recycled feature buffers and
-//!   DRM-aware queue invalidation.
+//!   pipeline (paper §IV-B): a background producer samples (under the
+//!   sampler pool), NUMA-shards feature gathers across socket domains
+//!   and fans per-trainer matrices out over loader lanes, and
+//!   precision-round-trips iterations into a bounded queue overlapped
+//!   with GNN propagation — pool-recycled buffers, DRM-aware queue
+//!   invalidation, bitwise-identical to serial execution.
 //! * [`executor`] — the hybrid trainer: 4-stage pipeline (Sampling →
 //!   Feature Loading → Data Transfer → GNN Propagation) with Two-stage
 //!   Feature Prefetching (paper §IV-B), functional training plus
 //!   simulated device timing and measured per-stage wall-clock.
 //!
 //! The [`executor::HybridTrainer`] is the public entry point; see the
-//! workspace `examples/` for end-to-end usage.
+//! workspace `examples/` for end-to-end usage and the repository's
+//! `ARCHITECTURE.md` for the pipeline and DRM event-flow diagrams.
 
 #![warn(missing_docs)]
 
@@ -47,6 +54,6 @@ pub use config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainC
 pub use drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
 pub use executor::HybridTrainer;
 pub use perf_model::PerfModel;
-pub use prefetch::MatrixPool;
+pub use prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration};
 pub use report::{EpochReport, IterationReport, WallStageTimes};
-pub use stages::StageTimes;
+pub use stages::{StageTimes, StageWorkers};

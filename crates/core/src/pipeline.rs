@@ -246,6 +246,7 @@ mod tests {
             transfer_s: 0.25,
             train_s: 2.0,
             iter_s: 4.25,
+            ..Default::default()
         };
         let c = PipelineStageCosts::from_wall(&w);
         assert_eq!(c.sample, 0.5);

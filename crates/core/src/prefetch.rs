@@ -27,11 +27,27 @@
 //! ## Allocation discipline
 //!
 //! Feature matrices cycle through a [`MatrixPool`]: the producer gathers
-//! into recycled buffers (`gather_features_into` + in-place precision
-//! round-trip) and the consumer returns them after propagation, so
-//! steady-state iterations perform zero feature-matrix allocations.
+//! into recycled buffers (NUMA-sharded `gather_features_numa_into` + an
+//! in-place precision round-trip) and the consumer returns them after
+//! propagation, so steady-state iterations perform zero feature-matrix
+//! allocations.
+//!
+//! ## Thread budget (DRM `balance_thread`)
+//!
+//! The producer dispatches its stages on the shared
+//! [`StageWorkers`] pools: sampling runs
+//! under the sampler pool's width, and the `n` per-trainer feature
+//! matrices fan out across loader lanes
+//! ([`rayon::WorkerGroup::fan_out`]) whose gathers are sharded across
+//! the feature matrix's NUMA row domains. A DRM `balance_thread` move
+//! re-sizes the pools in place ([`IterationFeed::rebalance_threads`]);
+//! widths only change wall-clock, so the queue keeps its prepared
+//! iterations, and each [`PreparedIteration`] records the
+//! [`ThreadAlloc`] it was built under so traces show the shift land.
 
-use hyscale_graph::features::gather_features_into;
+use crate::drm::ThreadAlloc;
+use crate::stages::StageWorkers;
+use hyscale_graph::features::gather_features_numa_into;
 use hyscale_graph::Dataset;
 use hyscale_sampler::{EpochBatcher, MiniBatch, NeighborSampler};
 use hyscale_tensor::{Matrix, Precision};
@@ -44,6 +60,17 @@ use std::time::Instant;
 
 /// A recycling pool of feature-matrix buffers shared between the
 /// producer thread and the consuming trainer.
+///
+/// ```
+/// use hyscale_core::MatrixPool;
+///
+/// let pool = MatrixPool::new();
+/// let mut x = pool.acquire();      // arbitrary shape — overwrite before reading
+/// x.resize(128, 16);
+/// pool.release(x);                 // back to the pool after propagation
+/// assert_eq!(pool.idle(), 1);
+/// assert_eq!(pool.acquire().shape(), (128, 16)); // allocation reused
+/// ```
 #[derive(Default)]
 pub struct MatrixPool {
     free: Mutex<Vec<Matrix>>,
@@ -90,6 +117,16 @@ pub struct PrepareCtx {
     /// Whether trainer 0 is the CPU trainer (reads host memory directly,
     /// skipping the precision round-trip).
     pub hybrid: bool,
+    /// Live worker pools whose widths mirror the DRM's [`ThreadAlloc`].
+    /// Shared with the executor: a `balance_thread` move re-sizes these
+    /// in place and the producer observes the new widths on its next
+    /// dispatch — no queue invalidation needed, because prepared
+    /// iterations are bitwise-independent of pool widths.
+    pub workers: Arc<StageWorkers>,
+    /// NUMA domains of the CPU feature matrix (one per socket): the
+    /// gather is sharded so each socket's rows are copied by that
+    /// socket's share of the loader pool.
+    pub numa_domains: usize,
 }
 
 /// One fully-prepared training iteration: sampled mini-batches plus
@@ -109,11 +146,19 @@ pub struct PreparedIteration {
     pub features: Vec<Option<Matrix>>,
     /// Wall-clock seconds spent sampling.
     pub sample_wall_s: f64,
-    /// Wall-clock seconds spent gathering features.
+    /// Wall-clock seconds of the loader fan-out attributed to feature
+    /// gathering (the block's wall split between loading and transfer
+    /// by their busy-time shares, since lanes run concurrently).
     pub load_wall_s: f64,
-    /// Wall-clock seconds spent in the precision round-trip (the
-    /// functional stand-in for the PCIe transfer).
+    /// Wall-clock seconds of the loader fan-out attributed to the
+    /// precision round-trip (the functional stand-in for the PCIe
+    /// transfer).
     pub transfer_wall_s: f64,
+    /// The worker-pool widths (the DRM [`ThreadAlloc`]) this iteration
+    /// was prepared under — the measured-wall twin of the simulated
+    /// thread model, surfaced in
+    /// [`WallStageTimes`](crate::report::WallStageTimes).
+    pub threads: ThreadAlloc,
 }
 
 impl PreparedIteration {
@@ -143,8 +188,12 @@ pub fn prepare_iteration(
 ) -> Option<PreparedIteration> {
     let (plan_iter, seed_sets) = ctx.batcher.plan(order, iter, quotas).next()?;
     debug_assert_eq!(plan_iter, iter);
+    // Pool widths as budgeted right now — recorded with the iteration so
+    // the trace shows when a balance_thread move reached the producer.
+    let threads = ctx.workers.observed();
 
-    // --- Sampling: n mini-batches, one per (non-empty) trainer ---
+    // --- Sampling: n mini-batches, one per (non-empty) trainer, drawn
+    // under the sampler pool's width (nested parallel draws inherit it) ---
     let sample_start = Instant::now();
     let stream_base = epoch.wrapping_mul(1 << 20) + iter as u64 * 64;
     let seed_refs: Vec<&[u32]> = seed_sets.iter().map(|s| s.as_slice()).collect();
@@ -155,8 +204,12 @@ pub fn prepare_iteration(
             .filter(|s| !s.is_empty())
             .collect();
         let mut sampled = ctx
-            .sampler
-            .sample_many(&ctx.dataset.graph, &non_empty, stream_base)
+            .workers
+            .sampler()
+            .install(|| {
+                ctx.sampler
+                    .sample_many(&ctx.dataset.graph, &non_empty, stream_base)
+            })
             .into_iter();
         seed_refs
             .iter()
@@ -165,30 +218,65 @@ pub fn prepare_iteration(
     };
     let sample_wall_s = sample_start.elapsed().as_secs_f64();
 
-    // --- Feature Loading into pooled buffers; accelerator batches
+    // --- Feature Loading into pooled buffers: the n trainer matrices
+    // fan out across loader lanes (one per accelerator/CPU trainer, up
+    // to the pool's width), and each lane's gather is itself sharded
+    // across the NUMA row domains of `X`. Accelerator batches
     // additionally pass through the wire-precision round-trip (identity
     // at F32; the §VIII quantization extension) ---
     let cpu_trainer_idx = if ctx.hybrid { Some(0) } else { None };
-    let mut load_wall_s = 0.0;
-    let mut transfer_wall_s = 0.0;
-    let features: Vec<Option<Matrix>> = batches
+    let active: Vec<(usize, &MiniBatch)> = batches
         .iter()
         .enumerate()
-        .map(|(idx, b)| {
-            b.as_ref().map(|mb| {
-                let load_start = Instant::now();
-                let mut x = pool.acquire();
-                gather_features_into(&mut x, &ctx.dataset.data.features, &mb.input_nodes);
-                load_wall_s += load_start.elapsed().as_secs_f64();
-                if Some(idx) != cpu_trainer_idx {
-                    let transfer_start = Instant::now();
-                    ctx.precision.round_trip_in_place(&mut x);
-                    transfer_wall_s += transfer_start.elapsed().as_secs_f64();
-                }
-                x
-            })
-        })
+        .filter_map(|(idx, b)| b.as_ref().map(|mb| (idx, mb)))
         .collect();
+    let gathered: Mutex<Vec<(usize, Matrix)>> = Mutex::new(Vec::with_capacity(active.len()));
+    let walls = Mutex::new((0.0f64, 0.0f64));
+    let fan_out_start = Instant::now();
+    ctx.workers.loader().fan_out(active.len(), |k, lane| {
+        let (idx, mb) = active[k];
+        let load_start = Instant::now();
+        let mut x = pool.acquire();
+        gather_features_numa_into(
+            &mut x,
+            &ctx.dataset.data.features,
+            &mb.input_nodes,
+            ctx.numa_domains,
+            lane,
+        );
+        let load_s = load_start.elapsed().as_secs_f64();
+        let mut transfer_s = 0.0;
+        if Some(idx) != cpu_trainer_idx {
+            let transfer_start = Instant::now();
+            lane.install(|| ctx.precision.round_trip_in_place(&mut x));
+            transfer_s = transfer_start.elapsed().as_secs_f64();
+        }
+        {
+            let mut w = walls.lock();
+            w.0 += load_s;
+            w.1 += transfer_s;
+        }
+        gathered.lock().push((idx, x));
+    });
+    let fan_out_wall_s = fan_out_start.elapsed().as_secs_f64();
+    let mut features: Vec<Option<Matrix>> = batches.iter().map(|_| None).collect();
+    for (idx, x) in gathered.into_inner() {
+        features[idx] = Some(x);
+    }
+    // Lanes run concurrently, so per-lane elapsed times are busy time,
+    // not wall. Report wall-clock stage times (what the pipeline model
+    // consumes) by apportioning the fan-out block's wall between loading
+    // and transfer in proportion to their busy shares.
+    let (load_busy_s, transfer_busy_s) = walls.into_inner();
+    let busy = load_busy_s + transfer_busy_s;
+    let (load_wall_s, transfer_wall_s) = if busy > 0.0 {
+        (
+            fan_out_wall_s * load_busy_s / busy,
+            fan_out_wall_s * transfer_busy_s / busy,
+        )
+    } else {
+        (fan_out_wall_s, 0.0)
+    };
 
     Some(PreparedIteration {
         iter,
@@ -199,6 +287,7 @@ pub fn prepare_iteration(
         sample_wall_s,
         load_wall_s,
         transfer_wall_s,
+        threads,
     })
 }
 
@@ -367,6 +456,23 @@ impl IterationFeed {
         }
     }
 
+    /// Apply a DRM `balance_thread` re-allocation: re-size the shared
+    /// worker pools so the producer's next dispatch runs at the new
+    /// widths. Unlike [`invalidate`](Self::invalidate) this is an
+    /// immediate cross-thread atomic store, not a message through the
+    /// queue — it is unordered with respect to in-flight iterations and
+    /// deliberately does *not* drain them: pool widths change
+    /// wall-clock, never bytes, so already-prepared iterations remain
+    /// valid (`tests/equivalence.rs` pins this bitwise).
+    pub fn rebalance_threads(&self, alloc: &ThreadAlloc) {
+        self.ctx.workers.apply(alloc);
+    }
+
+    /// The live worker pools this feed's producer dispatches on.
+    pub fn workers(&self) -> &StageWorkers {
+        &self.ctx.workers
+    }
+
     fn restart(&mut self, start_iter: usize, quotas: Vec<usize>) {
         if let Some(p) = self.pipeline.take() {
             p.shutdown(&self.pool);
@@ -403,6 +509,8 @@ mod tests {
             sampler: NeighborSampler::new(vec![4, 3], 17),
             precision: Precision::F32,
             hybrid: true,
+            workers: Arc::new(StageWorkers::from_alloc(&ThreadAlloc::default_for(8))),
+            numa_domains: 2,
         };
         (Arc::new(ctx), order)
     }
@@ -498,6 +606,57 @@ mod tests {
         assert!(iter >= 2, "epoch too short to exercise the pipeline");
         piped.finish();
         serial.finish();
+    }
+
+    #[test]
+    fn rebalance_resizes_pools_the_producer_observes() {
+        // A balance_thread move must change the partition widths the
+        // producer dispatches on — not only the simulated StageTimes.
+        let (ctx, order) = ctx();
+        let pool = Arc::new(MatrixPool::new());
+        let quotas = vec![8usize, 8, 8];
+        let mut feed = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            1,
+            Arc::clone(&pool),
+            quotas.clone(),
+        );
+        let before = feed.obtain(0, &quotas).expect("first iteration");
+        assert_eq!(before.threads, ThreadAlloc::default_for(8));
+        before.recycle(&pool);
+
+        // DRM moves two threads from the trainer pool to the loader pool.
+        let moved = ThreadAlloc {
+            sampler: 2,
+            loader: 4,
+            trainer: 2,
+        };
+        feed.rebalance_threads(&moved);
+        assert_eq!(feed.workers().observed(), moved);
+        assert_eq!(feed.workers().loader().width(), 4);
+
+        // Subsequent prepared iterations carry (and ran under) the new
+        // widths, without the queue having been invalidated. At depth 1
+        // up to two iterations (one buffered, one in flight) may predate
+        // the re-size; the move must land within a few more.
+        let mut landed = false;
+        for iter in 1..=4 {
+            let prep = feed
+                .obtain(iter, &quotas)
+                .expect("post-rebalance iteration");
+            let threads = prep.threads;
+            prep.recycle(&pool);
+            if threads == moved {
+                landed = true;
+                break;
+            }
+        }
+        assert!(landed, "producer never observed the balance_thread move");
+        assert_eq!(feed.restarts(), 0, "thread moves must not drain the queue");
+        feed.finish();
     }
 
     #[test]

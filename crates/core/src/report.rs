@@ -6,7 +6,7 @@
 //! ([`WallStageTimes`], what the real prefetching pipeline actually
 //! achieves on this machine).
 
-use crate::drm::DrmAction;
+use crate::drm::{DrmAction, ThreadAlloc};
 use crate::stages::StageTimes;
 
 /// Measured host wall-clock seconds per pipeline stage for one
@@ -30,6 +30,12 @@ pub struct WallStageTimes {
     pub train_s: f64,
     /// End-to-end iteration wall-clock on the consumer thread.
     pub iter_s: f64,
+    /// The worker-pool widths the producer prepared this iteration
+    /// under — the [`ThreadAlloc`] actually observed by the dispatches
+    /// behind `sample_s`/`load_s`/`transfer_s`. A DRM `balance_thread`
+    /// move shows up here as a shift in the recorded widths (the
+    /// all-zero default means "unrecorded").
+    pub threads: ThreadAlloc,
 }
 
 impl WallStageTimes {
@@ -59,6 +65,9 @@ impl WallStageTimes {
             acc.transfer_s += t.transfer_s;
             acc.train_s += t.train_s;
             acc.iter_s += t.iter_s;
+            // widths don't average meaningfully: keep the settled
+            // (last-observed) allocation
+            acc.threads = t.threads;
             n += 1;
         }
         if n > 0 {
@@ -187,6 +196,7 @@ mod tests {
             transfer_s: 3.0,
             train_s: 4.0,
             iter_s: 5.0,
+            ..Default::default()
         };
         let b = WallStageTimes {
             sample_s: 3.0,
@@ -194,10 +204,17 @@ mod tests {
             transfer_s: 5.0,
             train_s: 6.0,
             iter_s: 9.0,
+            threads: ThreadAlloc {
+                sampler: 2,
+                loader: 3,
+                trainer: 5,
+            },
         };
         let m = WallStageTimes::mean_of([a, b].iter());
         assert_eq!(m.sample_s, 2.0);
         assert_eq!(m.train_s, 5.0);
+        // widths keep the settled (last-observed) allocation
+        assert_eq!(m.threads, b.threads);
         assert_eq!(m.iter_s, 7.0);
         assert!((m.serial_sum() - 14.0).abs() < 1e-12);
         assert!((m.overlap_factor() - 2.0).abs() < 1e-12);

@@ -1,10 +1,21 @@
-//! Pipeline stages and their per-iteration timings.
+//! Pipeline stages, their per-iteration timings, and the live worker
+//! pools that execute the CPU-resident stages.
 //!
 //! HyScale-GNN decomposes training into four pipeline stages (paper
 //! §III-B): Sampling, Feature Loading, Data Transfer, and GNN
 //! Propagation. The DRM engine reasons about six measured times
 //! (Algorithm 1's inputs): sampling on CPU/accelerator, loading,
 //! transfer, and training on CPU/accelerator, plus synchronization.
+//!
+//! [`StageWorkers`] is where DRM decisions meet execution: one
+//! [`rayon::WorkerGroup`] per CPU task (sampler / loader / trainer),
+//! whose widths mirror the current [`ThreadAlloc`]
+//! and are re-sized in place when a `balance_thread` move fires — so
+//! thread re-allocations change *measured* stage walls, not only the
+//! simulated [`StageTimes`].
+
+use crate::drm::ThreadAlloc;
+use rayon::WorkerGroup;
 
 /// The tasks Algorithm 1 balances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +38,90 @@ impl Stage {
     /// `balance_thread`).
     pub fn is_cpu_task(self) -> bool {
         matches!(self, Stage::SampleCpu | Stage::Load | Stage::TrainCpu)
+    }
+}
+
+/// The live CPU worker pools, one [`WorkerGroup`] per CPU-resident task.
+///
+/// This is the execution-side twin of [`ThreadAlloc`]: the DRM engine
+/// mutates a `ThreadAlloc` (its model of the thread budget), and the
+/// executor [`apply`](Self::apply)s it here so the prefetch producer's
+/// dispatches — socket-sharded feature gathers, per-accelerator
+/// fan-out, sampler kernels — actually run at the budgeted widths.
+/// Widths are atomics inside each group, so a re-size made by the
+/// consumer thread is observed by the producer thread on its next
+/// dispatch without draining the prefetch queue (prepared iterations
+/// are bitwise-independent of widths).
+///
+/// ```
+/// use hyscale_core::stages::{Stage, StageWorkers};
+/// use hyscale_core::ThreadAlloc;
+///
+/// let workers = StageWorkers::from_alloc(&ThreadAlloc { sampler: 4, loader: 8, trainer: 20 });
+/// assert_eq!(workers.loader().width(), 8);
+/// // a DRM balance_thread move lands:
+/// workers.apply(&ThreadAlloc { sampler: 3, loader: 9, trainer: 20 });
+/// assert_eq!(workers.observed(), ThreadAlloc { sampler: 3, loader: 9, trainer: 20 });
+/// ```
+pub struct StageWorkers {
+    sampler: WorkerGroup,
+    loader: WorkerGroup,
+    trainer: WorkerGroup,
+}
+
+impl StageWorkers {
+    /// Build the three pools at the widths of `alloc`.
+    pub fn from_alloc(alloc: &ThreadAlloc) -> Self {
+        Self {
+            sampler: WorkerGroup::new("sampler", alloc.sampler),
+            loader: WorkerGroup::new("loader", alloc.loader),
+            trainer: WorkerGroup::new("trainer", alloc.trainer),
+        }
+    }
+
+    /// Re-size every pool to `alloc`'s widths (a `balance_thread` move,
+    /// or restoring a checkpointed mapping). Concurrent dispatchers pick
+    /// the new widths up on their next dispatch.
+    pub fn apply(&self, alloc: &ThreadAlloc) {
+        self.sampler.set_width(alloc.sampler);
+        self.loader.set_width(alloc.loader);
+        self.trainer.set_width(alloc.trainer);
+    }
+
+    /// The current logical widths as a [`ThreadAlloc`] — what the
+    /// producer actually observes, recorded per iteration in
+    /// [`WallStageTimes`](crate::report::WallStageTimes).
+    pub fn observed(&self) -> ThreadAlloc {
+        ThreadAlloc {
+            sampler: self.sampler.width(),
+            loader: self.loader.width(),
+            trainer: self.trainer.width(),
+        }
+    }
+
+    /// The Mini-batch Sampler pool.
+    pub fn sampler(&self) -> &WorkerGroup {
+        &self.sampler
+    }
+
+    /// The Feature Loader pool.
+    pub fn loader(&self) -> &WorkerGroup {
+        &self.loader
+    }
+
+    /// The CPU GNN Trainer pool.
+    pub fn trainer(&self) -> &WorkerGroup {
+        &self.trainer
+    }
+
+    /// The pool executing `stage`, if it is a CPU task.
+    pub fn group(&self, stage: Stage) -> Option<&WorkerGroup> {
+        match stage {
+            Stage::SampleCpu => Some(&self.sampler),
+            Stage::Load => Some(&self.loader),
+            Stage::TrainCpu => Some(&self.trainer),
+            Stage::SampleAccel | Stage::Accel => None,
+        }
     }
 }
 

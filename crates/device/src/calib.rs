@@ -19,7 +19,7 @@ pub const PCIE_UNPINNED_BW_GBS: f64 = 6.0;
 pub const PCIE_LATENCY_S: f64 = 10e-6;
 
 /// GPU DRAM efficiency on *random row gathers* (the aggregation read
-/// pattern). Paper §VI-E1 (citing [33]): "traditional cache policies
+/// pattern). Paper §VI-E1 (citing \[33]): "traditional cache policies
 /// fail to capture the data access pattern in GNN training"; measured
 /// GNN gather kernels reach 10–20 % of peak GDDR bandwidth.
 pub const GPU_GATHER_BW_EFF: f64 = 0.15;

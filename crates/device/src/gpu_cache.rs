@@ -1,6 +1,6 @@
 //! Set-associative gather-cache simulation.
 //!
-//! Grounds the GPU cache-inefficiency factor α (paper §VI-E1 cites [33]:
+//! Grounds the GPU cache-inefficiency factor α (paper §VI-E1 cites \[33]:
 //! "traditional cache policies fail to capture the data access pattern in
 //! GNN training"). Feature-row gathers during aggregation are simulated
 //! against an LRU set-associative cache sized like a GPU L2; the measured

@@ -7,7 +7,7 @@
 //!   (paper §VI-A2: batch 1024, fanouts (25, 10)), producing layered
 //!   [`minibatch::MiniBatch`]es with dst-nodes-prefix-of-src layout.
 //! * [`walk::RandomWalkSampler`] — GraphSAINT-style random-walk subgraph
-//!   sampling (the second sampling algorithm the paper cites, [29]).
+//!   sampling (the second sampling algorithm the paper cites, \[29]).
 //! * [`batcher::EpochBatcher`] — shuffled seed scheduling with *per-trainer
 //!   batch quotas*, the knob the DRM engine's `balance_work` turns.
 //! * [`estimate`] — closed-form expected workload per batch, used by the

@@ -1,4 +1,4 @@
-//! GraphSAGE neighbor sampling (paper [2], used in §VI-A2).
+//! GraphSAGE neighbor sampling (paper \[2], used in §VI-A2).
 //!
 //! For each seed batch, sample `fanouts[0]` neighbours of every seed, then
 //! `fanouts[1]` neighbours of every layer-1 vertex, etc. Destination

@@ -1,5 +1,5 @@
 //! GraphSAINT node and edge samplers (Zeng et al., ICLR 2020 — the
-//! paper's second cited sampling algorithm family [29], alongside the
+//! paper's second cited sampling algorithm family \[29], alongside the
 //! random-walk variant in [`crate::walk`]).
 //!
 //! Both samplers draw a *subgraph* (rather than layered neighbourhoods):

@@ -1,5 +1,5 @@
 //! Random-walk subgraph sampling (GraphSAINT-RW, the paper's second cited
-//! sampling algorithm [29]).
+//! sampling algorithm \[29]).
 //!
 //! Unlike fanout sampling, SAINT draws a *subgraph*: root vertices start
 //! fixed-length random walks, the union of visited vertices induces the

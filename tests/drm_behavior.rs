@@ -88,3 +88,50 @@ fn initial_mapping_is_coarse_but_sane() {
         "design-time mapping was absurdly far off: {initial:.5}s vs {settled:.5}s"
     );
 }
+
+#[test]
+fn balance_thread_resizes_live_worker_pools() {
+    // A DRM balance_thread decision must reach the rayon-shim worker
+    // groups the real producer dispatches on — not only the simulated
+    // StageTimes. Drive the engine with a loader-bottlenecked profile
+    // and mirror its ThreadAlloc into StageWorkers, as the executor does.
+    use hyscale::core::drm::DrmAction;
+    use hyscale::core::stages::{Stage, StageTimes, StageWorkers};
+
+    let engine = DrmEngine::new(true);
+    let mut split = WorkloadSplit::new(1024, 5120, 4);
+    let mut threads = ThreadAlloc {
+        sampler: 10,
+        loader: 10,
+        trainer: 44,
+    };
+    let workers = StageWorkers::from_alloc(&threads);
+    assert_eq!(workers.loader().width(), 10);
+
+    // loader is the bottleneck, CPU sampler the fastest CPU task
+    let times = StageTimes {
+        sample_cpu: 0.05,
+        sample_accel: 0.2,
+        load: 3.0,
+        transfer: 0.5,
+        train_cpu: 1.0,
+        train_accel: 0.5,
+        sync: 0.0,
+    };
+    let action = engine.adjust(&times, &mut split, &mut threads);
+    assert_eq!(
+        action,
+        DrmAction::BalanceThread {
+            from: Stage::SampleCpu,
+            to: Stage::Load
+        }
+    );
+    workers.apply(&threads);
+    assert_eq!(workers.loader().width(), 11, "loader pool not widened");
+    assert_eq!(workers.sampler().width(), 9, "sampler pool not narrowed");
+    assert_eq!(workers.observed(), threads);
+    assert_eq!(
+        workers.group(Stage::Load).unwrap().width(),
+        threads.threads_for(Stage::Load)
+    );
+}

@@ -230,6 +230,143 @@ fn prefetch_is_bitwise_identical_across_drm_remapping() {
     }
 }
 
+/// Worker-pool widths are pure wall-clock: with the task mapping pinned,
+/// two deliberately different `ThreadAlloc` settings (sampler-heavy and
+/// loader-heavy) train bitwise-identical weights and losses to each
+/// other and to serial execution, at prefetch depths {1, 2}. This is
+/// what licenses the executor to apply `balance_thread` moves to the
+/// live pools without draining the prefetch queue.
+#[test]
+fn thread_allocs_are_bitwise_identical_across_depths() {
+    use hyscale::core::drm::{ThreadAlloc, WorkloadSplit};
+    let run = |depth: usize, alloc: ThreadAlloc| {
+        let ds = Dataset::toy(37);
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::GraphSage);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: false,
+            tfp: true,
+        };
+        cfg.train.batch_per_trainer = 48;
+        cfg.train.fanouts = vec![6, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(4);
+        cfg.train.prefetch_depth = depth;
+        let mut t = HybridTrainer::new(cfg, ds);
+        t.set_mapping(WorkloadSplit::new(48, 144, 2), alloc);
+        let reports = t.train_epochs(2);
+        let losses: Vec<f32> = reports.iter().map(|r| r.loss).collect();
+        // the producer must have dispatched under exactly this alloc
+        for r in &reports {
+            assert_eq!(r.wall_stages.threads, alloc, "producer ignored ThreadAlloc");
+        }
+        (t.model().flatten_params(), losses)
+    };
+    let sampler_heavy = ThreadAlloc {
+        sampler: 96,
+        loader: 16,
+        trainer: 16,
+    };
+    let loader_heavy = ThreadAlloc {
+        sampler: 8,
+        loader: 104,
+        trainer: 16,
+    };
+    let (reference, ref_losses) = run(0, ThreadAlloc::default_for(128));
+    for depth in [1usize, 2] {
+        for alloc in [sampler_heavy, loader_heavy] {
+            let (params, losses) = run(depth, alloc);
+            assert_eq!(
+                reference, params,
+                "depth {depth} under {alloc:?} diverged from serial"
+            );
+            assert_eq!(
+                ref_losses, losses,
+                "depth {depth} under {alloc:?} changed the loss trajectory"
+            );
+        }
+    }
+}
+
+/// Live DRM with both move kinds firing mid-epoch: `balance_work`
+/// re-maps quotas (draining the queue) and `balance_thread` re-sizes
+/// the worker pools in place — weights, losses, and the DRM trajectory
+/// itself must stay bitwise-identical to serial at depths {1, 2}, and
+/// the measured-wall trace must show the thread shift landing.
+#[test]
+fn thread_rebalance_mid_epoch_is_bitwise_identical() {
+    use hyscale::core::drm::DrmAction;
+    let run = |depth: usize| {
+        let ds = Dataset::toy(31);
+        let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
+        cfg.platform.num_accelerators = 2;
+        cfg.opt = OptFlags {
+            hybrid: true,
+            drm: true,
+            tfp: true,
+        };
+        cfg.train.batch_per_trainer = 64;
+        cfg.train.fanouts = vec![6, 3];
+        cfg.train.hidden_dim = 16;
+        cfg.train.max_functional_iters = Some(8);
+        cfg.train.prefetch_depth = depth;
+        let mut t = HybridTrainer::new(cfg, ds);
+        let reports = t.train_epochs(2);
+        let thread_moves: usize = reports
+            .iter()
+            .flat_map(|r| r.trace.iter())
+            .filter(|it| matches!(it.drm_action, DrmAction::BalanceThread { .. }))
+            .count();
+        let actions: Vec<(usize, DrmAction, usize)> = reports
+            .iter()
+            .flat_map(|r| r.trace.iter())
+            .map(|it| (it.iter, it.drm_action, it.cpu_quota))
+            .collect();
+        let observed_allocs: Vec<_> = reports
+            .iter()
+            .flat_map(|r| r.trace.iter())
+            .map(|it| it.wall.threads)
+            .collect();
+        let losses: Vec<f32> = reports.iter().map(|r| r.loss).collect();
+        (
+            t.model().flatten_params(),
+            losses,
+            actions,
+            thread_moves,
+            observed_allocs,
+        )
+    };
+    let (serial_params, serial_losses, serial_actions, serial_moves, serial_allocs) = run(0);
+    assert!(
+        serial_moves >= 1,
+        "config never triggered a balance_thread move — the re-allocation path went unexercised"
+    );
+    // The wall-clock trace shows the re-allocation land: the producer's
+    // observed widths change across the epoch.
+    let distinct: std::collections::HashSet<_> = serial_allocs
+        .iter()
+        .map(|a| (a.sampler, a.loader, a.trainer))
+        .collect();
+    assert!(
+        distinct.len() >= 2,
+        "balance_thread never shifted the widths the producer observed: {serial_allocs:?}"
+    );
+    for depth in [1usize, 2] {
+        let (params, losses, actions, moves, _) = run(depth);
+        assert_eq!(
+            serial_actions, actions,
+            "depth {depth} saw a different DRM trajectory"
+        );
+        assert_eq!(serial_moves, moves);
+        assert_eq!(
+            serial_params, params,
+            "depth {depth} diverged from serial across a balance_thread re-allocation"
+        );
+        assert_eq!(serial_losses, losses);
+    }
+}
+
 /// DRM re-partitions batches (a different but equally-valid sync-SGD
 /// trajectory) — it must not hurt convergence.
 #[test]

@@ -20,6 +20,35 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Items below this count run sequentially on the caller thread.
 pub const SEQ_THRESHOLD: usize = 4;
 
+/// Worker threads the host can actually run concurrently: the
+/// `HYSCALE_RAYON_THREADS` override if set, else available parallelism.
+/// Unlike [`max_threads`] this ignores any [`ThreadPool::install`] /
+/// [`WorkerGroup::install`] override active on the current thread.
+///
+/// The env override is re-read on every call (dispatches are coarse, so
+/// the lookup is negligible); only the `available_parallelism` probe is
+/// cached. This lets tests exercise the multi-threaded dispatch paths
+/// on single-core hosts by setting the variable.
+pub fn host_threads() -> usize {
+    if let Some(n) = std::env::var("HYSCALE_RAYON_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    static CACHE: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    CACHE.store(n, Ordering::Relaxed);
+    n
+}
+
 /// Worker-thread cap for one parallel call: a [`ThreadPool::install`]
 /// override on the current thread if active, else the machine's
 /// available parallelism (overridable via `HYSCALE_RAYON_THREADS`).
@@ -28,22 +57,7 @@ pub fn max_threads() -> usize {
     if overridden != 0 {
         return overridden;
     }
-    static CACHE: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHE.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
-    }
-    let n = std::env::var("HYSCALE_RAYON_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-    CACHE.store(n, Ordering::Relaxed);
-    n
+    host_threads()
 }
 
 /// Split `len` items into at most `max_threads()` contiguous ranges and
@@ -307,6 +321,195 @@ impl<'a, 'b, T: Send, U: Sync> ParChunksZip<'a, 'b, T, U> {
     }
 }
 
+/// A named worker group with a dynamically resizable *logical* width —
+/// the shim's partitioned-pool primitive.
+///
+/// HyScale-GNN's DRM engine divides the host's CPU worker threads into
+/// three task pools (sampler / loader / trainer) and migrates threads
+/// between them (`balance_thread`). A `WorkerGroup` models one such
+/// pool: its **logical width** is the thread budget the resource manager
+/// assigned (resizable at any time via [`set_width`](Self::set_width),
+/// visible immediately to concurrent readers), while the **effective
+/// width** — the number of OS threads a dispatch actually spawns — is
+/// the logical width capped by [`host_threads`], so a 64-thread logical
+/// plan degrades gracefully on a 1-core container.
+///
+/// All dispatch methods partition work *deterministically* from
+/// `(len, widths)` alone and require the closure to tolerate any
+/// partitioning (disjoint writes), so results are bitwise-independent of
+/// the width — resizing a group changes wall-clock, never output.
+pub struct WorkerGroup {
+    label: &'static str,
+    width: AtomicUsize,
+}
+
+impl WorkerGroup {
+    /// A group labelled `label` with logical width `width` (clamped ≥ 1).
+    pub fn new(label: &'static str, width: usize) -> Self {
+        Self {
+            label,
+            width: AtomicUsize::new(width.max(1)),
+        }
+    }
+
+    /// The group's label (e.g. `"loader"`).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Current logical width (threads budgeted by the resource manager).
+    pub fn width(&self) -> usize {
+        self.width.load(Ordering::Acquire)
+    }
+
+    /// Re-size the logical width (clamped ≥ 1). Takes effect on the next
+    /// dispatch, including dispatches issued from other threads — this is
+    /// the entry point for DRM `balance_thread` moves.
+    pub fn set_width(&self, width: usize) {
+        self.width.store(width.max(1), Ordering::Release);
+    }
+
+    /// Threads a dispatch will actually spawn: logical width capped by
+    /// the host's real parallelism.
+    pub fn effective_width(&self) -> usize {
+        self.width().min(host_threads()).max(1)
+    }
+
+    /// Split `len` items into `effective_width()` contiguous ranges and
+    /// run `work(start, end)` for each, in parallel when worthwhile.
+    pub fn run<F>(&self, len: usize, work: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        // run_partitioned's max_threads() reads the installed override,
+        // so this runs the shared dispatch at this group's width.
+        self.install(|| run_partitioned(len, work));
+    }
+
+    /// NUMA-sharded dispatch: divide this group's threads into
+    /// `num_domains` contiguous sub-groups (domain `d` modeling the
+    /// workers pinned to socket `d`), and have each domain's threads
+    /// cover the full `0..len` item range split contiguously among them.
+    /// `work(domain, start, end)` thus runs once per (domain, sub-range)
+    /// pair; the caller must touch item `i` only from the domain that
+    /// *owns* it (e.g. the socket holding the source feature row), which
+    /// keeps writes disjoint and the result identical to a serial sweep.
+    ///
+    /// Thread shares are a fair split of the *effective* width (earlier
+    /// domains take the remainder, each domain gets at least one), so
+    /// the total spawned threads stay bounded by the host's real
+    /// parallelism. With fewer effective threads than domains, domains
+    /// run inline on the caller.
+    pub fn run_sharded<F>(&self, len: usize, num_domains: usize, work: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        if len == 0 || num_domains == 0 {
+            return;
+        }
+        let effective = self.effective_width();
+        if effective < num_domains.max(2) || len < SEQ_THRESHOLD {
+            // Too few real threads to give every domain one: run the
+            // domains inline on the caller.
+            for d in 0..num_domains {
+                work(d, 0, len);
+            }
+            return;
+        }
+        // Fair split of the *effective* width across domains (each ≥ 1
+        // since effective ≥ num_domains here), so the total spawned
+        // tasks equal the effective width exactly — bounded by the host
+        // even when the logical budget is large.
+        let base = effective / num_domains;
+        let rem = effective % num_domains;
+        std::thread::scope(|scope| {
+            let work = &work;
+            let mut first: Option<(usize, usize, usize)> = None;
+            for d in 0..num_domains {
+                let share = base + usize::from(d < rem);
+                let threads = share.min(len);
+                let per = len.div_ceil(threads);
+                let mut start = 0;
+                while start < len {
+                    let end = (start + per).min(len);
+                    if first.is_none() {
+                        first = Some((d, start, end)); // caller runs one task
+                    } else {
+                        let (s, e) = (start, end);
+                        scope.spawn(move || work(d, s, e));
+                    }
+                    start = end;
+                }
+            }
+            if let Some((d, s, e)) = first {
+                work(d, s, e);
+            }
+        });
+    }
+
+    /// Per-accelerator fan-out: process `n` independent items on up to
+    /// `effective_width()` lanes. Lane `l` handles items `l, l + lanes,
+    /// …` in order, and every item receives a *sub-group* whose width is
+    /// a fair share of this group's **effective** width — so a 16-thread
+    /// loader group serving 4 accelerator trainers hands each trainer's
+    /// gather 4 threads, and nested dispatches across all lanes stay
+    /// bounded by the host's real parallelism. Item→lane assignment is a
+    /// pure function of `(n, lanes)`, so outputs stay deterministic.
+    pub fn fan_out<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, &WorkerGroup) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let effective = self.effective_width();
+        let lanes = effective.min(n).max(1);
+        let sub = |lane: usize| {
+            WorkerGroup::new(
+                self.label,
+                (effective / lanes + usize::from(lane < effective % lanes)).max(1),
+            )
+        };
+        if lanes <= 1 {
+            let g = sub(0);
+            for i in 0..n {
+                f(i, &g);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for lane in 1..lanes {
+                let g = sub(lane);
+                scope.spawn(move || {
+                    let mut i = lane;
+                    while i < n {
+                        f(i, &g);
+                        i += lanes;
+                    }
+                });
+            }
+            let g = sub(0);
+            let mut i = 0;
+            while i < n {
+                f(i, &g);
+                i += lanes;
+            }
+        });
+    }
+
+    /// Run `op` with this group's effective width applied as the
+    /// thread-count cap for every nested `par_*` call `op` makes on the
+    /// current thread — how a group's budget reaches parallel kernels
+    /// (GEMMs, samplers) that use the plain rayon-style iterators.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.effective_width()));
+        let out = op();
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
 /// Builder for a scoped thread-pool configuration, mirroring
 /// `rayon::ThreadPoolBuilder`. The shim has no persistent pool; the
 /// built [`ThreadPool`] simply overrides [`max_threads`] (via the
@@ -466,5 +669,115 @@ mod tests {
         let xs = [1, 2, 3];
         let out: Vec<i32> = xs.par_iter().map(|&x| x * x).collect();
         assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn worker_group_run_covers_range_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = super::WorkerGroup::new("test", 4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        g.run(hits.len(), |s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_group_resize_is_observed() {
+        let g = super::WorkerGroup::new("resize", 3);
+        assert_eq!(g.width(), 3);
+        g.set_width(7);
+        assert_eq!(g.width(), 7);
+        g.set_width(0); // clamped
+        assert_eq!(g.width(), 1);
+        assert!(g.effective_width() >= 1);
+    }
+
+    #[test]
+    fn run_sharded_every_domain_sees_full_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = super::WorkerGroup::new("numa", 8);
+        const DOMAINS: usize = 2;
+        let len = 501;
+        let per_domain: Vec<AtomicUsize> = (0..DOMAINS).map(|_| AtomicUsize::new(0)).collect();
+        g.run_sharded(len, DOMAINS, |d, s, e| {
+            per_domain[d].fetch_add(e - s, Ordering::Relaxed);
+        });
+        for d in &per_domain {
+            assert_eq!(d.load(Ordering::Relaxed), len);
+        }
+    }
+
+    #[test]
+    fn fan_out_processes_each_item_once_with_fair_subwidths() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = super::WorkerGroup::new("loader", 9);
+        let n = 5;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let width_sum = AtomicUsize::new(0);
+        g.fan_out(n, |i, sub| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            assert!(sub.width() >= 1);
+            width_sum.fetch_add(sub.width(), Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // every item carried a sub-group; logical shares stay ≥ 1
+        assert!(width_sum.load(Ordering::Relaxed) >= n);
+    }
+
+    #[test]
+    fn multithreaded_dispatch_paths_cover_exactly_once() {
+        // Force real concurrency even on a 1-core host: host_threads()
+        // re-reads the env override per call. Other tests in this binary
+        // are width-independent, so a transient override is harmless.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        std::env::set_var("HYSCALE_RAYON_THREADS", "4");
+        let g = super::WorkerGroup::new("mt", 8);
+        assert_eq!(g.effective_width(), 4);
+
+        // run: contiguous split across 4 real threads
+        let hits: Vec<AtomicUsize> = (0..997).map(|_| AtomicUsize::new(0)).collect();
+        g.run(hits.len(), |s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+
+        // run_sharded: 2 domains × 2 threads each, every domain covers
+        // the full range exactly once
+        let per_domain: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        g.run_sharded(997, 2, |d, s, e| {
+            per_domain[d].fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert!(per_domain.iter().all(|d| d.load(Ordering::Relaxed) == 997));
+
+        // run_sharded inline fallback: more domains than real threads
+        let wide: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        g.run_sharded(97, 8, |d, s, e| {
+            wide[d].fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert!(wide.iter().all(|d| d.load(Ordering::Relaxed) == 97));
+
+        // fan_out: 3 items on up to 4 lanes, sub-widths sum ≤ effective
+        let item_hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let width_sum = AtomicUsize::new(0);
+        g.fan_out(3, |i, sub| {
+            item_hits[i].fetch_add(1, Ordering::Relaxed);
+            width_sum.fetch_add(sub.width(), Ordering::Relaxed);
+        });
+        assert!(item_hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(width_sum.load(Ordering::Relaxed) <= 4 + 3);
+        std::env::remove_var("HYSCALE_RAYON_THREADS");
+    }
+
+    #[test]
+    fn install_caps_nested_parallel_calls() {
+        let g = super::WorkerGroup::new("sampler", 1);
+        let inside = g.install(super::max_threads);
+        assert_eq!(inside, 1);
+        assert!(super::max_threads() >= 1);
     }
 }
