@@ -6,13 +6,17 @@
 //! GraphSAGE, hybrid CPU+FPGA organization, int8 wire precision — the
 //! paper's PCIe-bound regime where §VIII proposes quantization) twice
 //! with identical seeds: once fully serial (`prefetch_depth = 0`) and
-//! once with task-level feature prefetching. It reports measured
-//! iterations/second and speedup, plus the discrete-event simulator's
-//! prediction from the measured serial stage walls — the steady-state
-//! bound a host with enough cores converges to. On a single-core
-//! container the measured speedup degenerates to ~1x (there is no second
-//! core to overlap on; `cpus` in the JSON tells you which case you are
-//! looking at), while the predicted number remains meaningful.
+//! once with task-level feature prefetching through double-buffered
+//! staging rings. It reports measured iterations/second and speedup,
+//! the measured transfer-overlap ratio (the share of the wire
+//! round-trip that executed behind propagation of an earlier batch),
+//! plus the discrete-event simulator's predictions from the measured
+//! serial stage walls — both the idealized steady-state bound and the
+//! ring-gated walls at staging depths 1 and 2, whose gap is the
+//! transfer time double buffering hides. On a single-core container the
+//! measured speedup degenerates to ~1x (there is no second core to
+//! overlap on; `cpus` in the JSON tells you which case you are looking
+//! at), while the predicted numbers remain meaningful.
 //!
 //! ```sh
 //! cargo run --release -p hyscale-bench --bin bench_pipeline
@@ -20,18 +24,30 @@
 //!
 //! Workload knobs (for experiments; defaults are the tracked config):
 //! `BENCH_SCALE`, `BENCH_HIDDEN`, `BENCH_BATCH`, `BENCH_PRECISION`
-//! (`int8`|`f16`|`f32`).
+//! (`int8`|`f16`|`f32`), `BENCH_RING` (staging-ring depth). `BENCH_SMOKE=1`
+//! shrinks the workload to a CI-sized smoke run (same JSON schema).
 
 use hyscale_core::config::AcceleratorKind;
-use hyscale_core::pipeline::{simulate_pipeline, PipelineStageCosts};
+use hyscale_core::pipeline::{simulate_pipeline, simulate_pipeline_ringed, PipelineStageCosts};
 use hyscale_core::{EpochReport, HybridTrainer, OptFlags, SystemConfig, WallStageTimes};
 use hyscale_gnn::GnnKind;
 use hyscale_graph::dataset::OGBN_PRODUCTS;
 use hyscale_graph::features::Splits;
 use hyscale_graph::Dataset;
 
-const EPOCHS: usize = 3;
 const DEPTH: usize = 2;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn epochs() -> usize {
+    if smoke() {
+        2
+    } else {
+        3
+    }
+}
 
 fn env_or(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -41,7 +57,7 @@ fn env_or(name: &str, default: usize) -> usize {
 }
 
 fn dataset() -> Dataset {
-    let scale = env_or("BENCH_SCALE", 50) as u64;
+    let scale = env_or("BENCH_SCALE", if smoke() { 400 } else { 50 }) as u64;
     let mut dataset = OGBN_PRODUCTS.materialize(scale, 1);
     dataset.splits = Splits::random(dataset.graph.num_vertices(), 0.6, 0.2, 2);
     dataset
@@ -58,10 +74,11 @@ fn config(prefetch_depth: usize) -> SystemConfig {
         drm: false,
         tfp: true,
     };
-    cfg.train.batch_per_trainer = env_or("BENCH_BATCH", 512);
+    cfg.train.batch_per_trainer = env_or("BENCH_BATCH", if smoke() { 128 } else { 512 });
     cfg.train.hidden_dim = env_or("BENCH_HIDDEN", 32);
-    cfg.train.max_functional_iters = Some(6);
+    cfg.train.max_functional_iters = Some(if smoke() { 3 } else { 6 });
     cfg.train.prefetch_depth = prefetch_depth;
+    cfg.train.staging_ring_depth = env_or("BENCH_RING", 2);
     cfg.train.transfer_precision = match std::env::var("BENCH_PRECISION").as_deref() {
         Ok("f16") => hyscale_tensor::Precision::F16,
         Ok("f32") => hyscale_tensor::Precision::F32,
@@ -70,10 +87,11 @@ fn config(prefetch_depth: usize) -> SystemConfig {
     cfg
 }
 
-/// Train `EPOCHS` epochs, returning the reports past the warm-up epoch.
+/// Train the configured epochs, returning the reports past the warm-up
+/// epoch.
 fn run(prefetch_depth: usize, dataset: &Dataset) -> Vec<EpochReport> {
     let mut trainer = HybridTrainer::new(config(prefetch_depth), dataset.clone());
-    let mut reports = trainer.train_epochs(EPOCHS);
+    let mut reports = trainer.train_epochs(epochs());
     reports.remove(0); // warm-up: pool is cold, allocator untouched
     reports
 }
@@ -92,10 +110,19 @@ fn main() {
         .unwrap_or(1);
     let cfg = config(DEPTH);
     let numa_domains = cfg.platform.numa_domains();
+    // Report what actually runs: StagingRings clamps the depth to ≥ 1
+    // (and 0 would mean "unbounded" in simulate_pipeline_ringed terms —
+    // the opposite of a missing staging buffer).
+    let ring_depth = cfg.train.staging_ring_depth.max(1);
     let dataset = dataset();
     eprintln!(
-        "bench_pipeline: {} @ 1/{} scale, {} epochs ({} warm-up), prefetch depth {DEPTH}, {cpus} cpu(s)",
-        dataset.spec.name, dataset.scale, EPOCHS, 1
+        "bench_pipeline: {} @ 1/{} scale, {} epochs ({} warm-up), prefetch depth {DEPTH}, \
+         ring depth {ring_depth}, {cpus} cpu(s){}",
+        dataset.spec.name,
+        dataset.scale,
+        epochs(),
+        1,
+        if smoke() { " [smoke]" } else { "" },
     );
 
     let serial = run(0, &dataset);
@@ -111,15 +138,22 @@ fn main() {
 
     // The discrete-event pipeline model on the measured serial stage
     // walls: the steady-state speedup this stage balance supports at
-    // depth `DEPTH` once enough cores exist to actually overlap.
+    // depth `DEPTH` once enough cores exist to actually overlap, plus
+    // the ring-gated walls — depth-1 staging serializes transfer with
+    // propagation, depth-2 double-buffers it, and the gap between the
+    // two is the wire time the rings hide.
     let stage_means = WallStageTimes::mean_of(serial.iter().map(|r| &r.wall_stages));
     let costs = PipelineStageCosts::from_wall(&stage_means);
     let n = iters(&serial).max(2);
-    let predicted =
-        simulate_pipeline(&costs, n, 0).makespan / simulate_pipeline(&costs, n, DEPTH).makespan;
+    let serial_sim = simulate_pipeline(&costs, n, 0).makespan;
+    let predicted = serial_sim / simulate_pipeline(&costs, n, DEPTH).makespan;
+    let ring1_wall = simulate_pipeline_ringed(&costs, n, DEPTH, 1).makespan;
+    let ring2_wall = simulate_pipeline_ringed(&costs, n, DEPTH, 2).makespan;
+    let predicted_hidden_per_iter = ((ring1_wall - ring2_wall) / n as f64).max(0.0);
 
     let prefetch_means = WallStageTimes::mean_of(prefetched.iter().map(|r| &r.wall_stages));
     let overlap = prefetch_means.overlap_factor();
+    let transfer_overlap_ratio = prefetch_means.transfer_overlap_ratio();
     let restarts: usize = prefetched.iter().map(|r| r.prefetch_restarts).sum();
     // Settled worker-pool widths the producer dispatched on (the logical
     // ThreadAlloc; effective threads are capped by `cpus`).
@@ -127,22 +161,28 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"dataset\": \"{}\",\n  \"scale\": {},\n  \
-         \"cpus\": {},\n  \
+         \"cpus\": {},\n  \"smoke\": {},\n  \
          \"epochs_measured\": {},\n  \"iters_measured\": {},\n  \"prefetch_depth\": {},\n  \
+         \"ring_depth\": {},\n  \
          \"serial_iters_per_sec\": {:.4},\n  \"prefetch_iters_per_sec\": {:.4},\n  \
          \"serial_iter_wall_s\": {:.6},\n  \"prefetch_iter_wall_s\": {:.6},\n  \
          \"serial_stage_walls_s\": {{\"sample\": {:.6}, \"load\": {:.6}, \
          \"transfer\": {:.6}, \"train\": {:.6}}},\n  \
          \"speedup_vs_serial\": {:.4},\n  \"predicted_speedup\": {:.4},\n  \
-         \"overlap_factor\": {:.4},\n  \"drm_queue_restarts\": {},\n  \
+         \"predicted_wall_ring1_s\": {:.6},\n  \"predicted_wall_ring2_s\": {:.6},\n  \
+         \"predicted_transfer_hidden_per_iter_s\": {:.6},\n  \
+         \"overlap_factor\": {:.4},\n  \"transfer_overlap_ratio\": {:.4},\n  \
+         \"transfer_hidden_s\": {:.6},\n  \"drm_queue_restarts\": {},\n  \
          \"numa_domains\": {},\n  \"thread_alloc\": {{\"sampler\": {}, \"loader\": {}, \
          \"trainer\": {}}}\n}}\n",
         dataset.spec.name,
         dataset.scale,
         cpus,
+        smoke(),
         serial.len(),
         iters(&serial),
         DEPTH,
+        ring_depth,
         serial_ips,
         prefetch_ips,
         serial_wall / serial_iters,
@@ -153,7 +193,12 @@ fn main() {
         stage_means.train_s,
         speedup,
         predicted,
+        ring1_wall,
+        ring2_wall,
+        predicted_hidden_per_iter,
         overlap,
+        transfer_overlap_ratio,
+        prefetch_means.transfer_hidden_s,
         restarts,
         numa_domains,
         alloc.sampler,
@@ -164,6 +209,10 @@ fn main() {
     print!("{json}");
     eprintln!(
         "measured {speedup:.2}x vs serial on {cpus} cpu(s); stage balance supports \
-         {predicted:.2}x at depth {DEPTH}; wrote BENCH_pipeline.json"
+         {predicted:.2}x at depth {DEPTH}; ring 1 -> 2 hides \
+         {:.1} ms of transfer per iteration (predicted); measured transfer overlap \
+         {:.0}%; wrote BENCH_pipeline.json",
+        predicted_hidden_per_iter * 1e3,
+        transfer_overlap_ratio * 100.0,
     );
 }

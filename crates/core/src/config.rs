@@ -223,6 +223,16 @@ pub struct TrainConfig {
     /// to `0` — prefetching is pure wall-clock overlap (enforced by
     /// `tests/equivalence.rs`).
     pub prefetch_depth: usize,
+    /// Per-accelerator staging-ring depth for the producer's transfer
+    /// stage (clamped ≥ 1 when prefetching). Each accelerator lane owns
+    /// this many staging slots; a slot is held from the start of a
+    /// batch's wire-precision round-trip until its propagation
+    /// completes, so `1` serializes transfer with accelerator compute
+    /// (a single staging buffer) while `2` double-buffers — the wire
+    /// transfer of batch `i+1` overlaps the compute of batch `i`.
+    /// Bitwise-neutral like `prefetch_depth`: ring depth changes
+    /// wall-clock only (enforced by `tests/equivalence.rs`).
+    pub staging_ring_depth: usize,
 }
 
 impl TrainConfig {
@@ -239,6 +249,7 @@ impl TrainConfig {
             max_functional_iters: Some(8),
             transfer_precision: Precision::F32,
             prefetch_depth: 2,
+            staging_ring_depth: 2,
         }
     }
 

@@ -33,7 +33,7 @@
 use crate::config::SystemConfig;
 use crate::drm::{DrmAction, DrmEngine, ThreadAlloc, WorkloadSplit};
 use crate::perf_model::{compute_stage_times, PerfModel, StageInputs};
-use crate::prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration};
+use crate::prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration, StagingRings};
 use crate::protocol::TrainingRound;
 use crate::report::{EpochReport, IterationReport, WallStageTimes};
 use crate::stages::StageWorkers;
@@ -62,6 +62,7 @@ pub struct HybridTrainer {
     drm: DrmEngine,
     sync: Synchronizer,
     pool: Arc<MatrixPool>,
+    rings: Arc<StagingRings>,
     next_epoch: u64,
 }
 
@@ -81,6 +82,10 @@ impl HybridTrainer {
         let (split, threads) = pm.initial_mapping(&dataset.spec);
         let workers = Arc::new(StageWorkers::from_alloc(&threads));
         let drm = DrmEngine::new(cfg.opt.hybrid);
+        let rings = Arc::new(StagingRings::new(
+            cfg.platform.num_accelerators,
+            cfg.train.staging_ring_depth,
+        ));
         Self {
             cfg,
             dataset: Arc::new(dataset),
@@ -95,6 +100,7 @@ impl HybridTrainer {
             drm,
             sync: Synchronizer::new(),
             pool: Arc::new(MatrixPool::new()),
+            rings,
             next_epoch: 0,
         }
     }
@@ -130,6 +136,13 @@ impl HybridTrainer {
     /// pipeline dispatches on; widths mirror [`Self::thread_alloc`].
     pub fn workers(&self) -> &StageWorkers {
         &self.workers
+    }
+
+    /// The per-accelerator staging rings the producer's transfer stage
+    /// double-buffers through (`TrainConfig::staging_ring_depth` slots
+    /// each).
+    pub fn rings(&self) -> &StagingRings {
+        &self.rings
     }
 
     /// The replicated model (read access for evaluation).
@@ -227,6 +240,10 @@ impl HybridTrainer {
         let epoch = self.next_epoch;
         self.next_epoch += 1;
         let wall_start = Instant::now();
+        // Shared time origin for the epoch: the producer stamps transfer
+        // spans against it and we stamp propagation windows, so the
+        // intersection measures the wire time the staging rings hid.
+        let origin = wall_start;
 
         let order = Arc::new(self.batcher.epoch_order(epoch));
         let total_batch = self.split.total;
@@ -247,9 +264,11 @@ impl HybridTrainer {
             hybrid: self.cfg.opt.hybrid,
             workers: Arc::clone(&self.workers),
             numa_domains: self.cfg.platform.numa_domains(),
+            rings: Arc::clone(&self.rings),
+            origin,
         });
         let mut feed = IterationFeed::new(
-            ctx,
+            Arc::clone(&ctx),
             Arc::clone(&order),
             epoch,
             functional_iters,
@@ -262,6 +281,10 @@ impl HybridTrainer {
         let mut sum_iter_time = 0.0f64;
         let mut last_loss = f32::NAN;
         let mut last_acc = 0.0f32;
+        // Propagation windows (relative to `origin`) of completed
+        // iterations: a later batch's transfer span intersected with
+        // these is exactly the wire time the rings hid behind compute.
+        let mut train_windows: Vec<(f64, f64)> = Vec::with_capacity(functional_iters);
 
         for iter in 0..functional_iters {
             let iter_wall = Instant::now();
@@ -278,6 +301,8 @@ impl HybridTrainer {
                 sample_wall_s,
                 load_wall_s,
                 transfer_wall_s,
+                transfer_span,
+                slots,
                 threads: observed_threads,
                 ..
             } = prepared;
@@ -301,6 +326,7 @@ impl HybridTrainer {
 
             // --- GNN Propagation under the training protocol ---
             let train_wall = Instant::now();
+            let train_window_start = origin.elapsed().as_secs_f64();
             let labels_of = |seeds: &[u32]| -> Vec<u32> {
                 seeds
                     .iter()
@@ -365,12 +391,39 @@ impl HybridTrainer {
             self.model
                 .apply_gradients(&averaged, self.optimizer.as_mut());
             let train_wall_s = train_wall.elapsed().as_secs_f64();
+            let train_window_end = origin.elapsed().as_secs_f64();
 
-            // Feature matrices go back to the pool: steady-state
-            // iterations allocate no fresh ones.
-            for m in features.into_iter().flatten() {
-                self.pool.release(m);
+            // How much of this batch's wire round-trip ran while we were
+            // inside the propagation of an earlier batch — the transfer
+            // time the staging ring hid. Serial execution transfers
+            // inline between propagations, so this is naturally zero.
+            // Transfer spans are stamped in iteration order, so a window
+            // that ended before this span began can never overlap a
+            // later span either — pruning keeps the scan O(in-flight),
+            // not O(epoch).
+            train_windows.retain(|&(_, e)| e > transfer_span.0);
+            let transfer_hidden_s = train_windows
+                .iter()
+                .map(|&(s, e)| (transfer_span.1.min(e) - transfer_span.0.max(s)).max(0.0))
+                .sum::<f64>()
+                .min(transfer_wall_s);
+            train_windows.push((train_window_start, train_window_end));
+
+            // Feature matrices go back for reuse — accelerator batches
+            // to their lane's staging-ring free list, the CPU batch to
+            // the shared pool: steady-state iterations allocate no
+            // fresh ones.
+            for (idx, m) in features.into_iter().enumerate() {
+                if let Some(m) = m {
+                    match ctx.accel_of(idx) {
+                        Some(a) => self.rings.ring(a).put_buffer(m),
+                        None => self.pool.release(m),
+                    }
+                }
             }
+            // Propagation done: free this batch's staging slots so the
+            // transfer stage can ship the next batch into them.
+            drop(slots);
 
             let total_seeds: usize = results.iter().map(|r| r.3).sum();
             last_loss = results.iter().map(|r| r.1 * r.3 as f32).sum::<f32>() / total_seeds as f32;
@@ -432,6 +485,7 @@ impl HybridTrainer {
                     sample_s: sample_wall_s,
                     load_s: load_wall_s,
                     transfer_s: transfer_wall_s,
+                    transfer_hidden_s,
                     train_s: train_wall_s,
                     iter_s: iter_wall.elapsed().as_secs_f64(),
                     threads: observed_threads,
@@ -510,6 +564,7 @@ mod tests {
                 max_functional_iters: Some(4),
                 transfer_precision: hyscale_tensor::Precision::F32,
                 prefetch_depth: 0,
+                staging_ring_depth: 2,
             },
         }
     }
@@ -609,11 +664,37 @@ mod tests {
             r.trace.iter().all(|it| it.wall.iter_s > 0.0),
             "iteration wall unmeasured"
         );
-        // pool is primed for the next epoch: buffers were recycled
+        // measured hidden transfer time never exceeds measured transfer
+        assert!(r
+            .trace
+            .iter()
+            .all(|it| it.wall.transfer_hidden_s <= it.wall.transfer_s + 1e-12));
+        // buffers are primed for the next epoch: the CPU batch back in
+        // the shared pool, accelerator batches on their lanes' rings
         assert!(
             t.pool.idle() > 0,
             "feature buffers were not returned to the pool"
         );
+        assert_eq!(t.rings().in_flight_total(), 0, "staging slots leaked");
+        assert_eq!(t.rings().depth(), 2);
+        assert!(
+            (0..t.rings().num_rings()).any(|a| t.rings().ring(a).take_buffer().is_some()),
+            "no lane-local buffer was recycled to a staging ring"
+        );
+    }
+
+    #[test]
+    fn serial_execution_hides_no_transfer_time() {
+        let ds = Dataset::toy(23);
+        let mut cfg = toy_config(OptFlags::full());
+        cfg.train.prefetch_depth = 0;
+        let mut t = HybridTrainer::new(cfg, ds);
+        let r = t.train_epoch();
+        assert!(
+            r.trace.iter().all(|it| it.wall.transfer_hidden_s == 0.0),
+            "serial iterations transfer inline between propagations"
+        );
+        assert_eq!(r.wall_stages.transfer_overlap_ratio(), 0.0);
     }
 
     #[test]

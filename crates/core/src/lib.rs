@@ -22,10 +22,12 @@
 //! * [`prefetch`] — Task-level Feature Prefetching as a *real*
 //!   pipeline (paper §IV-B): a background producer samples (under the
 //!   sampler pool), NUMA-shards feature gathers across socket domains
-//!   and fans per-trainer matrices out over loader lanes, and
-//!   precision-round-trips iterations into a bounded queue overlapped
-//!   with GNN propagation — pool-recycled buffers, DRM-aware queue
-//!   invalidation, bitwise-identical to serial execution.
+//!   and fans per-trainer matrices out over loader lanes, and a
+//!   dedicated transfer stage precision-round-trips iterations through
+//!   per-accelerator [`prefetch::StagingRing`]s into a bounded queue
+//!   overlapped with GNN propagation — double-buffered wire transfer,
+//!   pool-recycled buffers, DRM-aware queue + ring invalidation,
+//!   bitwise-identical to serial execution.
 //! * [`executor`] — the hybrid trainer: 4-stage pipeline (Sampling →
 //!   Feature Loading → Data Transfer → GNN Propagation) with Two-stage
 //!   Feature Prefetching (paper §IV-B), functional training plus
@@ -54,6 +56,8 @@ pub use config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainC
 pub use drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
 pub use executor::HybridTrainer;
 pub use perf_model::PerfModel;
-pub use prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration};
+pub use prefetch::{
+    IterationFeed, MatrixPool, PrepareCtx, PreparedIteration, SlotToken, StagingRing, StagingRings,
+};
 pub use report::{EpochReport, IterationReport, WallStageTimes};
 pub use stages::{StageTimes, StageWorkers};

@@ -81,12 +81,36 @@ pub struct PipelineRun {
 /// pipeline with a prefetch look-ahead of `depth` batches per stage
 /// (`depth = 0` serializes everything — the no-TFP configuration;
 /// `depth = 1` is classic double buffering; the paper's two-stage scheme
-/// is `depth ≥ 2`).
-#[allow(clippy::needless_range_loop)] // gate reads finished[i - depth - 1]
+/// is `depth ≥ 2`). The transfer stage is unconstrained by staging
+/// buffers here — see [`simulate_pipeline_ringed`] for the
+/// bounded-staging variant.
 pub fn simulate_pipeline(
     costs: &PipelineStageCosts,
     iterations: usize,
     depth: usize,
+) -> PipelineRun {
+    simulate_pipeline_ringed(costs, iterations, depth, 0)
+}
+
+/// Index of the Data Transfer stage in [`PipelineStageCosts::as_array`].
+const TRANSFER_STAGE: usize = 2;
+
+/// [`simulate_pipeline`] with per-accelerator staging rings of
+/// `ring_depth` slots between the transfer and propagation stages: the
+/// wire transfer of iteration `i` may not start before the propagation
+/// of iteration `i - ring_depth` has completed (its staging slot is
+/// still occupied). `ring_depth = 1` is a single staging buffer —
+/// transfer and propagation serialize; `ring_depth = 2` is the
+/// double-buffered arrangement where transfer of batch `i+1` hides
+/// behind compute of batch `i`; `ring_depth = 0` means unbounded
+/// staging (no slot gate — the idealized model of
+/// [`simulate_pipeline`]).
+#[allow(clippy::needless_range_loop)] // gates read finished[i - k]
+pub fn simulate_pipeline_ringed(
+    costs: &PipelineStageCosts,
+    iterations: usize,
+    depth: usize,
+    ring_depth: usize,
 ) -> PipelineRun {
     assert!(iterations > 0, "need at least one iteration");
     let stage_costs = costs.as_array();
@@ -118,7 +142,13 @@ pub fn simulate_pipeline(
             };
             let mut batch_ready = gate;
             for (s, &cost) in stage_costs.iter().enumerate() {
-                let start = batch_ready.max(stage_free[s]);
+                let mut start = batch_ready.max(stage_free[s]);
+                if s == TRANSFER_STAGE && ring_depth > 0 && i >= ring_depth {
+                    // staging-slot gate: the ring slot this transfer
+                    // needs is released when iteration i - ring_depth
+                    // finishes its propagation
+                    start = start.max(finished[i - ring_depth]);
+                }
                 let end = start + cost;
                 stage_free[s] = end;
                 batch_ready = end;
@@ -261,5 +291,59 @@ mod tests {
         let c = costs(1.0, 1.0, 1.0, 1.0);
         let run = simulate_pipeline(&c, 1, 2);
         assert!((run.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_staging_buffer_serializes_transfer_with_propagation() {
+        // transfer 2s, propagate 3s: with one slot the steady cadence is
+        // their sum; the pipeline can't hide the wire time at all.
+        let c = costs(0.1, 0.1, 2.0, 3.0);
+        let run = simulate_pipeline_ringed(&c, 40, 4, 1);
+        assert!(
+            (run.steady_gap - 5.0).abs() < 1e-9,
+            "ring-1 steady gap {} should be transfer + propagate",
+            run.steady_gap
+        );
+    }
+
+    #[test]
+    fn double_buffer_hides_transfer_when_compute_dominates() {
+        let c = costs(0.1, 0.1, 2.0, 3.0);
+        let ring2 = simulate_pipeline_ringed(&c, 40, 4, 2);
+        // double buffering recovers the idealized bottleneck bound
+        assert!(
+            (ring2.steady_gap - c.bottleneck()).abs() < 1e-9,
+            "ring-2 steady gap {} vs bottleneck {}",
+            ring2.steady_gap,
+            c.bottleneck()
+        );
+        let ring1 = simulate_pipeline_ringed(&c, 40, 4, 1);
+        assert!(
+            ring2.makespan < ring1.makespan,
+            "deeper ring must hide transfer time: {} vs {}",
+            ring2.makespan,
+            ring1.makespan
+        );
+    }
+
+    #[test]
+    fn unbounded_ring_matches_plain_simulation() {
+        let c = costs(1.0, 2.0, 5.0, 3.0);
+        let plain = simulate_pipeline(&c, 30, 2);
+        let ringed = simulate_pipeline_ringed(&c, 30, 2, 0);
+        assert_eq!(plain.completions, ringed.completions);
+        // a ring at least as deep as the prefetch window changes nothing
+        let deep = simulate_pipeline_ringed(&c, 30, 2, 30);
+        assert_eq!(plain.completions, deep.completions);
+    }
+
+    #[test]
+    fn ring_depth_monotone() {
+        let c = costs(0.5, 0.5, 3.0, 2.0);
+        let m1 = simulate_pipeline_ringed(&c, 25, 3, 1).makespan;
+        let m2 = simulate_pipeline_ringed(&c, 25, 3, 2).makespan;
+        let m3 = simulate_pipeline_ringed(&c, 25, 3, 3).makespan;
+        assert!(m2 <= m1 + 1e-9);
+        assert!(m3 <= m2 + 1e-9);
     }
 }

@@ -5,9 +5,25 @@
 //! the wire-precision round-trip standing in for Data Transfer — with
 //! GNN Propagation. [`crate::pipeline`] *simulates* that overlap with a
 //! discrete-event model; this module *executes* it: a background
-//! producer thread walks the epoch's batch plan, prepares iterations,
-//! and feeds them through a bounded channel of depth `d`
+//! producer walks the epoch's batch plan, prepares iterations, and
+//! feeds them through a bounded channel of depth `d`
 //! (`TrainConfig::prefetch_depth`) to the consuming trainer.
+//!
+//! ## Double-buffered transfer (staging rings)
+//!
+//! The producer is itself a two-stage pipeline. A *gather* thread
+//! samples and NUMA-gathers features; a *transfer* thread performs the
+//! wire-precision round-trip. Between the transfer stage and the
+//! consuming trainer sit per-accelerator [`StagingRing`]s of
+//! `TrainConfig::staging_ring_depth` slots: a slot is occupied from the
+//! start of a batch's round-trip until its propagation completes (the
+//! consumer drops the batch's [`SlotToken`]s after training), so at ring
+//! depth 2 the wire transfer of batch `i+1` overlaps the accelerator
+//! compute of batch `i` — double buffering *within* the producer, not
+//! only across the producer/consumer queue. Ring depth 1 is a single
+//! staging buffer: transfer and compute serialize, exactly like the
+//! `ring_depth = 1` case of `hyscale_device::stage::StagingModel` and
+//! [`crate::pipeline::simulate_pipeline_ringed`].
 //!
 //! ## Determinism contract
 //!
@@ -16,21 +32,24 @@
 //! [`EpochBatcher::plan`](hyscale_sampler::EpochBatcher) and every
 //! sampler draw is keyed by `(seed, epoch, iter, trainer)` streams, so a
 //! batch prepared three iterations ahead on a worker thread is
-//! bitwise-identical to one prepared inline. The one hazard is the DRM
-//! engine re-balancing `quotas` mid-epoch: prepared iterations carry the
-//! quotas they were built under, and [`IterationFeed`] drains and
-//! invalidates the queue (restarting the producer with the new quotas)
-//! whenever they disagree with what the consumer currently wants —
-//! `tests/equivalence.rs` pins weights bitwise across depths {0, 1, 2,
-//! 4} including across re-mapping events.
+//! bitwise-identical to one prepared inline, and staging rings only
+//! re-time the round-trip (which is itself deterministic per matrix).
+//! The one hazard is the DRM engine re-balancing `quotas` mid-epoch:
+//! prepared iterations carry the quotas they were built under, and
+//! [`IterationFeed`] drains and invalidates the queue *and the staging
+//! rings* (restarting the producer with the new quotas) whenever they
+//! disagree with what the consumer currently wants —
+//! `tests/equivalence.rs` pins weights bitwise across prefetch depths
+//! {0, 1, 2, 4} × ring depths {1, 2} including across re-mapping events.
 //!
 //! ## Allocation discipline
 //!
-//! Feature matrices cycle through a [`MatrixPool`]: the producer gathers
-//! into recycled buffers (NUMA-sharded `gather_features_numa_into` + an
-//! in-place precision round-trip) and the consumer returns them after
-//! propagation, so steady-state iterations perform zero feature-matrix
-//! allocations.
+//! Feature matrices cycle through a [`MatrixPool`], with ring-aware
+//! reuse on top: a recycled accelerator batch returns its buffer to that
+//! accelerator's [`StagingRing`] free list, so each lane re-gathers into
+//! the buffer it last shipped (lane-local reuse); the shared pool is the
+//! fallback and serves the CPU trainer. Steady-state iterations perform
+//! zero feature-matrix allocations.
 //!
 //! ## Thread budget (DRM `balance_thread`)
 //!
@@ -42,8 +61,9 @@
 //! the feature matrix's NUMA row domains. A DRM `balance_thread` move
 //! re-sizes the pools in place ([`IterationFeed::rebalance_threads`]);
 //! widths only change wall-clock, so the queue keeps its prepared
-//! iterations, and each [`PreparedIteration`] records the
-//! [`ThreadAlloc`] it was built under so traces show the shift land.
+//! iterations, staging rings keep their in-flight transfers, and each
+//! [`PreparedIteration`] records the [`ThreadAlloc`] it was built under
+//! so traces show the shift land.
 
 use crate::drm::ThreadAlloc;
 use crate::stages::StageWorkers;
@@ -51,15 +71,15 @@ use hyscale_graph::features::gather_features_numa_into;
 use hyscale_graph::Dataset;
 use hyscale_sampler::{EpochBatcher, MiniBatch, NeighborSampler};
 use hyscale_tensor::{Matrix, Precision};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// A recycling pool of feature-matrix buffers shared between the
-/// producer thread and the consuming trainer.
+/// producer threads and the consuming trainer.
 ///
 /// ```
 /// use hyscale_core::MatrixPool;
@@ -103,6 +123,219 @@ impl MatrixPool {
     }
 }
 
+/// One accelerator's device-side staging buffer, modeled as a bounded
+/// slot counter plus a lane-local free list of recycled feature buffers.
+///
+/// A slot is *occupied* from the moment the producer's transfer stage
+/// starts a batch's wire-precision round-trip until the consumer
+/// finishes that batch's propagation (and drops its [`SlotToken`]).
+/// With `depth = 2` the ring is a classic double buffer: while the
+/// accelerator computes on batch `i`'s slot, the transfer of batch
+/// `i+1` proceeds into the second slot. With `depth = 1` there is
+/// nowhere to stage ahead, so transfer and compute serialize.
+///
+/// ```
+/// use hyscale_core::prefetch::StagingRing;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let ring = StagingRing::new(2);           // double buffer
+/// let stop = AtomicBool::new(false);
+/// assert!(ring.acquire(&stop));             // transfer of batch i starts
+/// assert!(ring.acquire(&stop));             // transfer of batch i+1 overlaps
+/// assert_eq!(ring.in_flight(), 2);
+/// stop.store(true, Ordering::Release);
+/// assert!(!ring.acquire(&stop));            // full ring + stop: refuse, don't block
+/// ring.release_slot();                      // batch i propagation done
+/// assert_eq!(ring.in_flight(), 1);
+/// ```
+pub struct StagingRing {
+    depth: usize,
+    state: Mutex<RingState>,
+    cv: Condvar,
+    drains: AtomicUsize,
+}
+
+#[derive(Default)]
+struct RingState {
+    in_flight: usize,
+    free: Vec<Matrix>,
+}
+
+impl StagingRing {
+    /// A ring of `depth` staging slots (clamped ≥ 1).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            state: Mutex::new(RingState::default()),
+            cv: Condvar::new(),
+            drains: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of staging slots.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Slots currently occupied by a batch in transfer or in compute.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().in_flight
+    }
+
+    /// Times this ring has been drained by a DRM re-mapping event.
+    pub fn drains(&self) -> usize {
+        self.drains.load(Ordering::Relaxed)
+    }
+
+    /// Occupy a slot, blocking while the ring is full. Returns `false`
+    /// (without occupying) once `stop` is raised — a producer being shut
+    /// down must not wedge on a slot that will never free.
+    pub fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
+            if st.in_flight < self.depth {
+                st.in_flight += 1;
+                return true;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Free a slot (the batch's propagation completed, or its transfer
+    /// was abandoned) and wake any transfer blocked on a full ring.
+    pub fn release_slot(&self) {
+        {
+            let mut st = self.state.lock();
+            st.in_flight = st.in_flight.saturating_sub(1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Take a lane-local recycled buffer, if any.
+    pub fn take_buffer(&self) -> Option<Matrix> {
+        self.state.lock().free.pop()
+    }
+
+    /// Return a buffer to this lane's free list for ring-aware reuse.
+    pub fn put_buffer(&self, m: Matrix) {
+        self.state.lock().free.push(m);
+    }
+
+    /// Record a DRM drain event (the queued transfers this ring staged
+    /// were discarded along with the producer queue). Buffers stay on
+    /// the free list — a drain invalidates *contents*, not allocations.
+    fn drain(&self) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Wake any waiter so it can observe a raised stop flag.
+    fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// The per-accelerator staging rings of one trainer instance (shared by
+/// the producer's transfer stage, the executor, and the DRM drain path).
+pub struct StagingRings {
+    rings: Vec<StagingRing>,
+    depth: usize,
+}
+
+impl StagingRings {
+    /// One ring of `depth` slots per accelerator.
+    pub fn new(num_accelerators: usize, depth: usize) -> Self {
+        let depth = depth.max(1);
+        Self {
+            rings: (0..num_accelerators)
+                .map(|_| StagingRing::new(depth))
+                .collect(),
+            depth,
+        }
+    }
+
+    /// Number of accelerator lanes.
+    pub fn num_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Slots per ring.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Accelerator `a`'s ring.
+    ///
+    /// # Panics
+    /// If `a >= num_rings()`.
+    pub fn ring(&self, a: usize) -> &StagingRing {
+        &self.rings[a]
+    }
+
+    /// Total occupied slots across all rings.
+    pub fn in_flight_total(&self) -> usize {
+        self.rings.iter().map(StagingRing::in_flight).sum()
+    }
+
+    /// Total DRM drain events across all rings.
+    pub fn drains_total(&self) -> usize {
+        self.rings.iter().map(StagingRing::drains).sum()
+    }
+
+    /// Record a DRM `balance_work` drain on every ring. Called by
+    /// [`IterationFeed`] after the producer generation serving the old
+    /// quotas has been shut down and its staged batches recycled.
+    pub(crate) fn drain_all(&self) {
+        for r in &self.rings {
+            r.drain();
+        }
+    }
+
+    /// Wake every slot waiter (producer shutdown).
+    fn interrupt_all(&self) {
+        for r in &self.rings {
+            r.interrupt();
+        }
+    }
+
+    /// Occupy a slot on ring `a`, returning an RAII token that frees the
+    /// slot on drop. `None` once `stop` is raised.
+    pub fn acquire_token(self: &Arc<Self>, a: usize, stop: &AtomicBool) -> Option<SlotToken> {
+        if self.rings[a].acquire(stop) {
+            Some(SlotToken {
+                rings: Arc::clone(self),
+                accel: a,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// RAII occupancy of one staging slot: held from the start of a batch's
+/// wire round-trip until the batch's propagation completes; dropping the
+/// token frees the slot and wakes the transfer stage.
+pub struct SlotToken {
+    rings: Arc<StagingRings>,
+    accel: usize,
+}
+
+impl SlotToken {
+    /// The accelerator lane this token occupies a slot on.
+    pub fn accel(&self) -> usize {
+        self.accel
+    }
+}
+
+impl Drop for SlotToken {
+    fn drop(&mut self) {
+        self.rings.ring(self.accel).release_slot();
+    }
+}
+
 /// Everything the producer needs to prepare iterations without touching
 /// the trainer's mutable state.
 pub struct PrepareCtx {
@@ -125,13 +358,38 @@ pub struct PrepareCtx {
     pub workers: Arc<StageWorkers>,
     /// NUMA domains of the CPU feature matrix (one per socket): the
     /// gather is sharded so each socket's rows are copied by that
-    /// socket's share of the loader pool.
+    /// socket's share of the loader pool, weighted by the sampled rows'
+    /// ownership histogram.
     pub numa_domains: usize,
+    /// Per-accelerator staging rings gating the transfer stage (shared
+    /// with the executor, which releases slots after propagation).
+    pub rings: Arc<StagingRings>,
+    /// Epoch time origin: transfer spans and propagation windows are
+    /// recorded relative to this instant so the executor can measure how
+    /// much wire time the rings hid behind compute.
+    pub origin: Instant,
+}
+
+impl PrepareCtx {
+    /// Accelerator (staging-ring) index serving trainer `trainer_idx`,
+    /// or `None` for the CPU trainer (which, when hybrid, occupies
+    /// trainer index 0 and never stages). The single source of truth
+    /// for the trainer→lane mapping — the executor returns buffers to
+    /// rings through this too.
+    pub(crate) fn accel_of(&self, trainer_idx: usize) -> Option<usize> {
+        let offset = usize::from(self.hybrid);
+        if trainer_idx >= offset && trainer_idx - offset < self.rings.num_rings() {
+            Some(trainer_idx - offset)
+        } else {
+            None
+        }
+    }
 }
 
 /// One fully-prepared training iteration: sampled mini-batches plus
 /// gathered (and precision-round-tripped) feature matrices, with the
-/// producer-side wall-clock stage timings.
+/// producer-side wall-clock stage timings and the staging slots the
+/// batch still occupies.
 pub struct PreparedIteration {
     /// Iteration index within the epoch.
     pub iter: usize,
@@ -146,14 +404,20 @@ pub struct PreparedIteration {
     pub features: Vec<Option<Matrix>>,
     /// Wall-clock seconds spent sampling.
     pub sample_wall_s: f64,
-    /// Wall-clock seconds of the loader fan-out attributed to feature
-    /// gathering (the block's wall split between loading and transfer
-    /// by their busy-time shares, since lanes run concurrently).
+    /// Wall-clock seconds of the loader fan-out (feature gathering).
     pub load_wall_s: f64,
-    /// Wall-clock seconds of the loader fan-out attributed to the
-    /// precision round-trip (the functional stand-in for the PCIe
-    /// transfer).
+    /// Wall-clock seconds of the precision round-trip (the functional
+    /// stand-in for the PCIe transfer), measured on the transfer stage.
     pub transfer_wall_s: f64,
+    /// `(start, end)` of the round-trip relative to the epoch origin
+    /// ([`PrepareCtx::origin`]): the executor intersects this with its
+    /// propagation windows to measure the wire time the staging rings
+    /// hid behind accelerator compute.
+    pub transfer_span: (f64, f64),
+    /// Staging slots this batch occupies, one per accelerator batch —
+    /// released (by drop) when the consumer finishes propagation. Empty
+    /// in serial execution, which stages nothing ahead.
+    pub slots: Vec<SlotToken>,
     /// The worker-pool widths (the DRM [`ThreadAlloc`]) this iteration
     /// was prepared under — the measured-wall twin of the simulated
     /// thread model, surfaced in
@@ -162,30 +426,48 @@ pub struct PreparedIteration {
 }
 
 impl PreparedIteration {
-    /// Return every pooled buffer for reuse.
+    /// Return every pooled buffer for reuse and free the staging slots.
     pub fn recycle(self, pool: &MatrixPool) {
+        for m in self.features.into_iter().flatten() {
+            pool.release(m);
+        }
+        // self.slots dropped here: slot tokens release their rings
+    }
+}
+
+/// Output of the producer's gather stage: a sampled iteration whose
+/// feature matrices have not yet made the wire round-trip.
+struct StagedIteration {
+    iter: usize,
+    quotas: Vec<usize>,
+    seed_sets: Vec<Vec<u32>>,
+    batches: Vec<Option<MiniBatch>>,
+    features: Vec<Option<Matrix>>,
+    sample_wall_s: f64,
+    load_wall_s: f64,
+    threads: ThreadAlloc,
+}
+
+impl StagedIteration {
+    fn recycle(self, pool: &MatrixPool) {
         for m in self.features.into_iter().flatten() {
             pool.release(m);
         }
     }
 }
 
-/// Prepare iteration `iter` of `epoch`: slice seeds under `quotas`,
-/// sample one mini-batch per non-idle trainer, gather features into
-/// pooled buffers, and round-trip accelerator-bound matrices at the wire
-/// precision. Returns `None` once the epoch's seeds are exhausted.
-///
-/// This is the single implementation of the producer stages — the
-/// serial (`depth = 0`) and pipelined paths both call it, which is what
-/// makes them bitwise-identical by construction.
-pub fn prepare_iteration(
+/// Gather stage: slice seeds under `quotas`, sample one mini-batch per
+/// non-idle trainer, and gather features into pooled buffers (ring-local
+/// free lists first). Returns `None` once the epoch's seeds are
+/// exhausted.
+fn stage_gather(
     ctx: &PrepareCtx,
     order: &[u32],
     epoch: u64,
     iter: usize,
     quotas: &[usize],
     pool: &MatrixPool,
-) -> Option<PreparedIteration> {
+) -> Option<StagedIteration> {
     let (plan_iter, seed_sets) = ctx.batcher.plan(order, iter, quotas).next()?;
     debug_assert_eq!(plan_iter, iter);
     // Pool widths as budgeted right now — recorded with the iteration so
@@ -221,22 +503,23 @@ pub fn prepare_iteration(
     // --- Feature Loading into pooled buffers: the n trainer matrices
     // fan out across loader lanes (one per accelerator/CPU trainer, up
     // to the pool's width), and each lane's gather is itself sharded
-    // across the NUMA row domains of `X`. Accelerator batches
-    // additionally pass through the wire-precision round-trip (identity
-    // at F32; the §VIII quantization extension) ---
-    let cpu_trainer_idx = if ctx.hybrid { Some(0) } else { None };
+    // across the NUMA row domains of `X`, thread shares weighted by the
+    // sampled rows' ownership histogram. Accelerator lanes draw their
+    // buffer from the staging ring's free list first (lane-local
+    // reuse). ---
     let active: Vec<(usize, &MiniBatch)> = batches
         .iter()
         .enumerate()
         .filter_map(|(idx, b)| b.as_ref().map(|mb| (idx, mb)))
         .collect();
     let gathered: Mutex<Vec<(usize, Matrix)>> = Mutex::new(Vec::with_capacity(active.len()));
-    let walls = Mutex::new((0.0f64, 0.0f64));
     let fan_out_start = Instant::now();
     ctx.workers.loader().fan_out(active.len(), |k, lane| {
         let (idx, mb) = active[k];
-        let load_start = Instant::now();
-        let mut x = pool.acquire();
+        let mut x = ctx
+            .accel_of(idx)
+            .and_then(|a| ctx.rings.ring(a).take_buffer())
+            .unwrap_or_else(|| pool.acquire());
         gather_features_numa_into(
             &mut x,
             &ctx.dataset.data.features,
@@ -244,41 +527,15 @@ pub fn prepare_iteration(
             ctx.numa_domains,
             lane,
         );
-        let load_s = load_start.elapsed().as_secs_f64();
-        let mut transfer_s = 0.0;
-        if Some(idx) != cpu_trainer_idx {
-            let transfer_start = Instant::now();
-            lane.install(|| ctx.precision.round_trip_in_place(&mut x));
-            transfer_s = transfer_start.elapsed().as_secs_f64();
-        }
-        {
-            let mut w = walls.lock();
-            w.0 += load_s;
-            w.1 += transfer_s;
-        }
         gathered.lock().push((idx, x));
     });
-    let fan_out_wall_s = fan_out_start.elapsed().as_secs_f64();
+    let load_wall_s = fan_out_start.elapsed().as_secs_f64();
     let mut features: Vec<Option<Matrix>> = batches.iter().map(|_| None).collect();
     for (idx, x) in gathered.into_inner() {
         features[idx] = Some(x);
     }
-    // Lanes run concurrently, so per-lane elapsed times are busy time,
-    // not wall. Report wall-clock stage times (what the pipeline model
-    // consumes) by apportioning the fan-out block's wall between loading
-    // and transfer in proportion to their busy shares.
-    let (load_busy_s, transfer_busy_s) = walls.into_inner();
-    let busy = load_busy_s + transfer_busy_s;
-    let (load_wall_s, transfer_wall_s) = if busy > 0.0 {
-        (
-            fan_out_wall_s * load_busy_s / busy,
-            fan_out_wall_s * transfer_busy_s / busy,
-        )
-    } else {
-        (fan_out_wall_s, 0.0)
-    };
 
-    Some(PreparedIteration {
+    Some(StagedIteration {
         iter,
         quotas: quotas.to_vec(),
         seed_sets,
@@ -286,22 +543,110 @@ pub fn prepare_iteration(
         features,
         sample_wall_s,
         load_wall_s,
-        transfer_wall_s,
         threads,
     })
 }
 
+/// Occupy one staging slot per accelerator batch of `staged`, in trainer
+/// order. `None` (releasing any slots already taken) once `stop` rises.
+fn acquire_slots(
+    ctx: &PrepareCtx,
+    staged: &StagedIteration,
+    stop: &AtomicBool,
+) -> Option<Vec<SlotToken>> {
+    let mut slots = Vec::new();
+    for (idx, b) in staged.batches.iter().enumerate() {
+        if b.is_none() {
+            continue;
+        }
+        if let Some(a) = ctx.accel_of(idx) {
+            slots.push(ctx.rings.acquire_token(a, stop)?);
+        }
+    }
+    Some(slots)
+}
+
+/// Transfer stage: round-trip accelerator-bound matrices at the wire
+/// precision (identity at F32; the §VIII quantization extension),
+/// stamping the transfer span against the epoch origin. `slots` are the
+/// staging slots this batch holds until propagation completes (empty in
+/// serial execution).
+fn apply_transfer(
+    ctx: &PrepareCtx,
+    staged: StagedIteration,
+    slots: Vec<SlotToken>,
+) -> PreparedIteration {
+    let StagedIteration {
+        iter,
+        quotas,
+        seed_sets,
+        batches,
+        mut features,
+        sample_wall_s,
+        load_wall_s,
+        threads,
+    } = staged;
+    let span_start = ctx.origin.elapsed().as_secs_f64();
+    let transfer_start = Instant::now();
+    for (idx, x) in features.iter_mut().enumerate() {
+        if let (Some(x), Some(_)) = (x.as_mut(), ctx.accel_of(idx)) {
+            ctx.workers
+                .loader()
+                .install(|| ctx.precision.round_trip_in_place(x));
+        }
+    }
+    let transfer_wall_s = transfer_start.elapsed().as_secs_f64();
+    let span_end = ctx.origin.elapsed().as_secs_f64();
+
+    PreparedIteration {
+        iter,
+        quotas,
+        seed_sets,
+        batches,
+        features,
+        sample_wall_s,
+        load_wall_s,
+        transfer_wall_s,
+        transfer_span: (span_start, span_end),
+        slots,
+        threads,
+    }
+}
+
+/// Prepare iteration `iter` of `epoch` inline: gather stage plus
+/// transfer stage back-to-back on the caller thread, staging nothing
+/// (no ring slots are taken). Returns `None` once the epoch's seeds are
+/// exhausted.
+///
+/// This is the single implementation of the producer stages — the
+/// serial (`depth = 0`) path calls it directly and the pipelined path
+/// runs the same two stages on background threads, which is what makes
+/// them bitwise-identical by construction.
+pub fn prepare_iteration(
+    ctx: &PrepareCtx,
+    order: &[u32],
+    epoch: u64,
+    iter: usize,
+    quotas: &[usize],
+    pool: &MatrixPool,
+) -> Option<PreparedIteration> {
+    let staged = stage_gather(ctx, order, epoch, iter, quotas, pool)?;
+    Some(apply_transfer(ctx, staged, Vec::new()))
+}
+
 /// Handle to one background producer run (one contiguous span of
-/// iterations under fixed quotas).
+/// iterations under fixed quotas): a gather thread feeding a transfer
+/// thread feeding the consumer queue.
 struct Prefetcher {
     rx: Receiver<PreparedIteration>,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    rings: Arc<StagingRings>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl Prefetcher {
     /// Spawn a producer covering `start_iter..end_iter` under `quotas`,
-    /// buffering at most `depth` prepared iterations.
+    /// buffering at most `depth` prepared iterations per stage boundary.
     #[allow(clippy::too_many_arguments)]
     fn spawn(
         ctx: Arc<PrepareCtx>,
@@ -313,35 +658,90 @@ impl Prefetcher {
         depth: usize,
         pool: Arc<MatrixPool>,
     ) -> Self {
-        let (tx, rx) = sync_channel(depth.max(1));
+        let cap = depth.max(1);
+        let (staged_tx, staged_rx) = sync_channel::<StagedIteration>(cap);
+        let (ready_tx, rx) = sync_channel::<PreparedIteration>(cap);
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("hyscale-prefetch".into())
-            .spawn(move || {
-                for iter in start_iter..end_iter {
-                    if stop_flag.load(Ordering::Acquire) {
-                        break;
-                    }
-                    match prepare_iteration(&ctx, &order, epoch, iter, &quotas, &pool) {
-                        // A closed channel means the consumer moved on;
-                        // recycle the rejected iteration's buffers so a
-                        // restart doesn't force fresh allocations.
-                        Some(prep) => {
-                            if let Err(rejected) = tx.send(prep) {
-                                rejected.0.recycle(&pool);
-                                break;
-                            }
+        let rings = Arc::clone(&ctx.rings);
+
+        let gather_handle = {
+            let ctx = Arc::clone(&ctx);
+            let order = Arc::clone(&order);
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hyscale-prefetch".into())
+                .spawn(move || {
+                    for iter in start_iter..end_iter {
+                        if stop.load(Ordering::Acquire) {
+                            break;
                         }
-                        None => break, // epoch seeds exhausted
+                        match stage_gather(&ctx, &order, epoch, iter, &quotas, &pool) {
+                            // A closed channel means the transfer stage
+                            // moved on; recycle the rejected iteration's
+                            // buffers so a restart doesn't force fresh
+                            // allocations.
+                            Some(staged) => {
+                                if let Err(rejected) = staged_tx.send(staged) {
+                                    rejected.0.recycle(&pool);
+                                    break;
+                                }
+                            }
+                            None => break, // epoch seeds exhausted
+                        }
                     }
-                }
-            })
-            .expect("spawn prefetch producer");
+                })
+                .expect("spawn prefetch gather stage")
+        };
+
+        let transfer_handle = {
+            let ctx = Arc::clone(&ctx);
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hyscale-transfer".into())
+                .spawn(move || {
+                    while let Ok(staged) = staged_rx.recv() {
+                        if stop.load(Ordering::Acquire) {
+                            staged.recycle(&pool);
+                            break;
+                        }
+                        // The staging-slot gate: blocks while every slot
+                        // of an accelerator's ring holds a batch still
+                        // in transfer or compute — this is where ring
+                        // depth 1 serializes and depth 2 double-buffers.
+                        let Some(slots) = acquire_slots(&ctx, &staged, &stop) else {
+                            staged.recycle(&pool);
+                            break;
+                        };
+                        let prep = apply_transfer(&ctx, staged, slots);
+                        if let Err(rejected) = ready_tx.send(prep) {
+                            rejected.0.recycle(&pool);
+                            break;
+                        }
+                    }
+                    // Recycle whatever the gather stage had buffered.
+                    // Blocking receives, not `try_recv`: a gather thread
+                    // parked in `send` on the full channel completes its
+                    // send into the capacity each receive frees, and a
+                    // `try_recv` drain would race past that iteration
+                    // and destroy its buffers instead of pooling them.
+                    // This terminates: by the time the main loop breaks,
+                    // `stop` is raised (every break path follows it), so
+                    // the gather thread exits its loop and drops its
+                    // sender after at most one in-flight iteration.
+                    while let Ok(staged) = staged_rx.recv() {
+                        staged.recycle(&pool);
+                    }
+                })
+                .expect("spawn prefetch transfer stage")
+        };
+
         Self {
             rx,
             stop,
-            handle: Some(handle),
+            rings,
+            handles: vec![gather_handle, transfer_handle],
         }
     }
 
@@ -350,19 +750,24 @@ impl Prefetcher {
         self.rx.recv().ok()
     }
 
-    /// Stop the producer, recycling every buffered iteration.
+    /// Stop the producer, recycling every buffered iteration and freeing
+    /// their staging slots.
     fn shutdown(mut self, pool: &MatrixPool) {
         self.stop.store(true, Ordering::Release);
+        // Wake a transfer stage blocked on a full staging ring so it can
+        // observe `stop` and bail out.
+        self.rings.interrupt_all();
         // Drain whatever is buffered so a producer blocked on a full
-        // channel can complete its send, observe `stop`, and exit.
+        // channel can complete its send, observe `stop`, and exit;
+        // recycling drops the slot tokens, freeing the rings.
         while let Ok(prep) = self.rx.try_recv() {
             prep.recycle(pool);
         }
         // Close the channel: any in-flight send now errors out (the
         // producer recycles the rejected iteration's buffers itself).
         drop(self.rx);
-        if let Some(h) = self.handle.take() {
-            // Bounded wait: at most one in-flight prepare_iteration —
+        for h in self.handles.drain(..) {
+            // Bounded wait: at most one in-flight iteration per stage —
             // the same work the consumer would do inline anyway before
             // it can proceed under the new quotas.
             let _ = h.join();
@@ -372,7 +777,8 @@ impl Prefetcher {
 
 /// The executor's iteration source: serial preparation at `depth = 0`,
 /// a background producer pipeline otherwise. Transparently restarts the
-/// producer when the consumer's quotas change (DRM re-mapping).
+/// producer (draining the queue *and* the staging rings) when the
+/// consumer's quotas change (DRM re-mapping).
 pub struct IterationFeed {
     ctx: Arc<PrepareCtx>,
     order: Arc<Vec<u32>>,
@@ -449,7 +855,9 @@ impl IterationFeed {
 
     /// Proactively restart the producer at `next_iter` under new
     /// `quotas` — called by the executor the moment a DRM `balance_work`
-    /// decision changes the split, before the change takes effect.
+    /// decision changes the split, before the change takes effect. The
+    /// prefetch queue *and* the staging rings are drained: staged
+    /// transfers were built under quotas that no longer exist.
     pub fn invalidate(&mut self, next_iter: usize, quotas: Vec<usize>) {
         if self.depth > 0 {
             self.restart(next_iter, quotas);
@@ -461,9 +869,10 @@ impl IterationFeed {
     /// widths. Unlike [`invalidate`](Self::invalidate) this is an
     /// immediate cross-thread atomic store, not a message through the
     /// queue — it is unordered with respect to in-flight iterations and
-    /// deliberately does *not* drain them: pool widths change
-    /// wall-clock, never bytes, so already-prepared iterations remain
-    /// valid (`tests/equivalence.rs` pins this bitwise).
+    /// deliberately drains neither the queue nor the staging rings:
+    /// pool widths change wall-clock, never bytes, so already-prepared
+    /// iterations and in-flight transfers remain valid
+    /// (`tests/equivalence.rs` pins this bitwise).
     pub fn rebalance_threads(&self, alloc: &ThreadAlloc) {
         self.ctx.workers.apply(alloc);
     }
@@ -473,10 +882,19 @@ impl IterationFeed {
         &self.ctx.workers
     }
 
+    /// The per-accelerator staging rings this feed's transfer stage
+    /// runs through.
+    pub fn rings(&self) -> &Arc<StagingRings> {
+        &self.ctx.rings
+    }
+
     fn restart(&mut self, start_iter: usize, quotas: Vec<usize>) {
         if let Some(p) = self.pipeline.take() {
             p.shutdown(&self.pool);
         }
+        // Count the drain on every ring: the staged wire transfers died
+        // with the producer generation that prepared them.
+        self.ctx.rings.drain_all();
         self.restarts += 1;
         self.pipeline = Some(self.spawn_at(start_iter, quotas));
     }
@@ -499,7 +917,7 @@ mod tests {
     use super::*;
     use hyscale_tensor::init::randn;
 
-    fn ctx() -> (Arc<PrepareCtx>, Arc<Vec<u32>>) {
+    fn ctx_with_rings(ring_depth: usize) -> (Arc<PrepareCtx>, Arc<Vec<u32>>) {
         let dataset = Arc::new(Dataset::toy(5));
         let batcher = EpochBatcher::new(dataset.splits.train.clone(), 99);
         let order = Arc::new(batcher.epoch_order(0));
@@ -511,8 +929,14 @@ mod tests {
             hybrid: true,
             workers: Arc::new(StageWorkers::from_alloc(&ThreadAlloc::default_for(8))),
             numa_domains: 2,
+            rings: Arc::new(StagingRings::new(2, ring_depth)),
+            origin: Instant::now(),
         };
         (Arc::new(ctx), order)
+    }
+
+    fn ctx() -> (Arc<PrepareCtx>, Arc<Vec<u32>>) {
+        ctx_with_rings(2)
     }
 
     #[test]
@@ -529,14 +953,67 @@ mod tests {
     }
 
     #[test]
+    fn ring_slots_bound_in_flight_batches() {
+        let rings = Arc::new(StagingRings::new(1, 2));
+        let stop = AtomicBool::new(false);
+        let t0 = rings.acquire_token(0, &stop).expect("slot 0");
+        let t1 = rings.acquire_token(0, &stop).expect("slot 1");
+        assert_eq!(rings.ring(0).in_flight(), 2);
+        // full + stop raised: acquire refuses instead of blocking
+        stop.store(true, Ordering::Release);
+        assert!(rings.acquire_token(0, &stop).is_none());
+        stop.store(false, Ordering::Release);
+        drop(t0); // batch 0's propagation completed
+        assert_eq!(rings.ring(0).in_flight(), 1);
+        let t2 = rings.acquire_token(0, &stop).expect("slot freed by drop");
+        assert_eq!(t2.accel(), 0);
+        drop(t1);
+        drop(t2);
+        assert_eq!(rings.in_flight_total(), 0);
+    }
+
+    #[test]
+    fn ring_free_list_is_lane_local() {
+        let rings = StagingRings::new(2, 2);
+        assert!(rings.ring(0).take_buffer().is_none());
+        let mut m = Matrix::uninit(0, 0);
+        m.resize(4, 3);
+        rings.ring(0).put_buffer(m);
+        assert!(rings.ring(1).take_buffer().is_none(), "lanes don't share");
+        let back = rings.ring(0).take_buffer().expect("lane 0 buffer");
+        assert_eq!(back.shape(), (4, 3));
+    }
+
+    #[test]
+    fn blocked_transfer_wakes_when_slot_frees() {
+        // A transfer blocked on a full ring must wake when the consumer
+        // releases the slot (token drop), not spin or deadlock.
+        let rings = Arc::new(StagingRings::new(1, 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let held = rings.acquire_token(0, &stop).expect("slot");
+        let waiter = {
+            let rings = Arc::clone(&rings);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || rings.acquire_token(0, &stop).is_some())
+        };
+        // give the waiter time to block, then release the slot
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        assert!(waiter.join().expect("waiter"), "waiter never acquired");
+        // the waiter's token dropped with its thread: slot freed again
+        assert_eq!(rings.in_flight_total(), 0);
+    }
+
+    #[test]
     fn prepare_is_deterministic_and_pool_independent() {
         let (ctx, order) = ctx();
         let pool = MatrixPool::new();
         let quotas = [16usize, 16, 16];
         let a = prepare_iteration(&ctx, &order, 0, 1, &quotas, &pool).unwrap();
-        // poison the pool with stale buffers of wrong shapes
+        // poison the pool and the ring free lists with stale buffers
         pool.release(randn(200, 3, 1));
         pool.release(Matrix::full(1, 1, f32::NAN));
+        ctx.rings.ring(0).put_buffer(Matrix::full(7, 7, f32::NAN));
         let b = prepare_iteration(&ctx, &order, 0, 1, &quotas, &pool).unwrap();
         assert_eq!(a.seed_sets, b.seed_sets);
         for (x, y) in a.features.iter().zip(&b.features) {
@@ -546,6 +1023,7 @@ mod tests {
                 _ => panic!("feature presence diverged"),
             }
         }
+        assert!(a.slots.is_empty(), "serial preparation must stage nothing");
     }
 
     #[test]
@@ -559,59 +1037,70 @@ mod tests {
     }
 
     #[test]
-    fn feed_pipelined_matches_serial() {
-        let (ctx, order) = ctx();
-        let quotas = vec![8usize, 8, 8];
-        let serial_pool = Arc::new(MatrixPool::new());
-        let mut serial = IterationFeed::new(
-            Arc::clone(&ctx),
-            Arc::clone(&order),
-            0,
-            usize::MAX,
-            0,
-            Arc::clone(&serial_pool),
-            quotas.clone(),
-        );
-        let piped_pool = Arc::new(MatrixPool::new());
-        let mut piped = IterationFeed::new(
-            Arc::clone(&ctx),
-            Arc::clone(&order),
-            0,
-            usize::MAX,
-            3,
-            Arc::clone(&piped_pool),
-            quotas.clone(),
-        );
-        let mut iter = 0;
-        loop {
-            let a = serial.obtain(iter, &quotas);
-            let b = piped.obtain(iter, &quotas);
-            match (a, b) {
-                (Some(a), Some(b)) => {
-                    assert_eq!(a.iter, b.iter);
-                    assert_eq!(a.seed_sets, b.seed_sets);
-                    for (x, y) in a.features.iter().zip(&b.features) {
-                        if let (Some(x), Some(y)) = (x, y) {
-                            assert_eq!(x.as_slice(), y.as_slice());
+    fn feed_pipelined_matches_serial_across_ring_depths() {
+        for ring_depth in [1usize, 2] {
+            let (serial_ctx, order) = ctx_with_rings(ring_depth);
+            let (piped_ctx, _) = ctx_with_rings(ring_depth);
+            let quotas = vec![8usize, 8, 8];
+            let serial_pool = Arc::new(MatrixPool::new());
+            let mut serial = IterationFeed::new(
+                Arc::clone(&serial_ctx),
+                Arc::clone(&order),
+                0,
+                usize::MAX,
+                0,
+                Arc::clone(&serial_pool),
+                quotas.clone(),
+            );
+            let piped_pool = Arc::new(MatrixPool::new());
+            let mut piped = IterationFeed::new(
+                Arc::clone(&piped_ctx),
+                Arc::clone(&order),
+                0,
+                usize::MAX,
+                3,
+                Arc::clone(&piped_pool),
+                quotas.clone(),
+            );
+            let mut iter = 0;
+            loop {
+                let a = serial.obtain(iter, &quotas);
+                let b = piped.obtain(iter, &quotas);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.iter, b.iter);
+                        assert_eq!(a.seed_sets, b.seed_sets);
+                        for (x, y) in a.features.iter().zip(&b.features) {
+                            if let (Some(x), Some(y)) = (x, y) {
+                                assert_eq!(x.as_slice(), y.as_slice());
+                            }
                         }
+                        // two accelerator batches -> two staging slots held
+                        assert_eq!(b.slots.len(), 2, "ring depth {ring_depth}");
+                        a.recycle(&serial_pool);
+                        b.recycle(&piped_pool);
                     }
-                    a.recycle(&serial_pool);
-                    b.recycle(&piped_pool);
+                    (None, None) => break,
+                    _ => panic!("serial and pipelined feeds disagree on epoch length"),
                 }
-                (None, None) => break,
-                _ => panic!("serial and pipelined feeds disagree on epoch length"),
+                iter += 1;
             }
-            iter += 1;
+            assert!(iter >= 2, "epoch too short to exercise the pipeline");
+            piped.finish();
+            serial.finish();
+            assert_eq!(
+                piped_ctx.rings.in_flight_total(),
+                0,
+                "staging slots leaked at ring depth {ring_depth}"
+            );
         }
-        assert!(iter >= 2, "epoch too short to exercise the pipeline");
-        piped.finish();
-        serial.finish();
     }
 
     #[test]
     fn rebalance_resizes_pools_the_producer_observes() {
         // A balance_thread move must change the partition widths the
-        // producer dispatches on — not only the simulated StageTimes.
+        // producer dispatches on — not only the simulated StageTimes —
+        // and must leave the staging rings untouched.
         let (ctx, order) = ctx();
         let pool = Arc::new(MatrixPool::new());
         let quotas = vec![8usize, 8, 8];
@@ -640,10 +1129,11 @@ mod tests {
 
         // Subsequent prepared iterations carry (and ran under) the new
         // widths, without the queue having been invalidated. At depth 1
-        // up to two iterations (one buffered, one in flight) may predate
-        // the re-size; the move must land within a few more.
+        // up to a few iterations (buffered or in flight across the two
+        // producer stages) may predate the re-size; the move must land
+        // within a few more.
         let mut landed = false;
-        for iter in 1..=4 {
+        for iter in 1..=6 {
             let prep = feed
                 .obtain(iter, &quotas)
                 .expect("post-rebalance iteration");
@@ -656,11 +1146,16 @@ mod tests {
         }
         assert!(landed, "producer never observed the balance_thread move");
         assert_eq!(feed.restarts(), 0, "thread moves must not drain the queue");
+        assert_eq!(
+            feed.rings().drains_total(),
+            0,
+            "thread moves must not drain the staging rings"
+        );
         feed.finish();
     }
 
     #[test]
-    fn feed_restarts_on_quota_change() {
+    fn feed_restarts_on_quota_change_and_drains_rings() {
         let (ctx, order) = ctx();
         let pool = Arc::new(MatrixPool::new());
         let quotas = vec![8usize, 8, 8];
@@ -675,9 +1170,15 @@ mod tests {
         );
         let first = feed.obtain(0, &quotas).expect("first iteration");
         first.recycle(&pool);
+        assert_eq!(feed.rings().drains_total(), 0);
         // consumer re-balances: 4 seeds move from trainer 1 to trainer 0
         let new_quotas = vec![12usize, 4, 8];
         feed.invalidate(1, new_quotas.clone());
+        assert_eq!(
+            feed.rings().drains_total(),
+            feed.rings().num_rings(),
+            "balance_work must drain every staging ring"
+        );
         let second = feed.obtain(1, &new_quotas).expect("post-remap iteration");
         assert_eq!(second.quotas, new_quotas);
         assert_eq!(second.seed_sets[0].len(), 12);
@@ -695,5 +1196,6 @@ mod tests {
         second.recycle(&pool);
         reference.recycle(&pool);
         feed.finish();
+        assert_eq!(ctx.rings.in_flight_total(), 0, "slots leaked after finish");
     }
 }

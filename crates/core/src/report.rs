@@ -26,6 +26,13 @@ pub struct WallStageTimes {
     /// Wire-precision round-trip, the functional stand-in for the PCIe
     /// transfer (producer side).
     pub transfer_s: f64,
+    /// Portion of `transfer_s` that executed while the consumer was
+    /// concurrently inside GNN propagation of an *earlier* iteration —
+    /// the wire time the staging ring actually hid. Zero in serial
+    /// execution and at staging-ring depth 1 (the transfer thread can
+    /// only start once the previous batch's slot frees, i.e. after its
+    /// propagation ends).
+    pub transfer_hidden_s: f64,
     /// GNN propagation + synchronization + weight update (consumer side).
     pub train_s: f64,
     /// End-to-end iteration wall-clock on the consumer thread.
@@ -55,6 +62,18 @@ impl WallStageTimes {
         }
     }
 
+    /// Fraction of the wire-transfer time hidden behind accelerator
+    /// compute (`transfer_hidden_s / transfer_s`, clamped to `[0, 1]`;
+    /// `0.0` when no transfer time was measured). `1.0` means the
+    /// staging ring hid the transfer completely.
+    pub fn transfer_overlap_ratio(&self) -> f64 {
+        if self.transfer_s > 0.0 {
+            (self.transfer_hidden_s / self.transfer_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Element-wise mean over a set of per-iteration measurements.
     pub fn mean_of<'a>(times: impl Iterator<Item = &'a WallStageTimes>) -> WallStageTimes {
         let mut acc = WallStageTimes::default();
@@ -63,6 +82,7 @@ impl WallStageTimes {
             acc.sample_s += t.sample_s;
             acc.load_s += t.load_s;
             acc.transfer_s += t.transfer_s;
+            acc.transfer_hidden_s += t.transfer_hidden_s;
             acc.train_s += t.train_s;
             acc.iter_s += t.iter_s;
             // widths don't average meaningfully: keep the settled
@@ -75,6 +95,7 @@ impl WallStageTimes {
             acc.sample_s *= inv;
             acc.load_s *= inv;
             acc.transfer_s *= inv;
+            acc.transfer_hidden_s *= inv;
             acc.train_s *= inv;
             acc.iter_s *= inv;
         }
@@ -202,6 +223,7 @@ mod tests {
             sample_s: 3.0,
             load_s: 4.0,
             transfer_s: 5.0,
+            transfer_hidden_s: 0.0,
             train_s: 6.0,
             iter_s: 9.0,
             threads: ThreadAlloc {
@@ -213,6 +235,7 @@ mod tests {
         let m = WallStageTimes::mean_of([a, b].iter());
         assert_eq!(m.sample_s, 2.0);
         assert_eq!(m.train_s, 5.0);
+        assert_eq!(m.transfer_hidden_s, 0.0);
         // widths keep the settled (last-observed) allocation
         assert_eq!(m.threads, b.threads);
         assert_eq!(m.iter_s, 7.0);
@@ -223,5 +246,34 @@ mod tests {
             WallStageTimes::mean_of([].iter()),
             WallStageTimes::default()
         );
+    }
+
+    #[test]
+    fn transfer_overlap_ratio_bounds() {
+        let mut w = WallStageTimes {
+            transfer_s: 4.0,
+            transfer_hidden_s: 3.0,
+            ..Default::default()
+        };
+        assert!((w.transfer_overlap_ratio() - 0.75).abs() < 1e-12);
+        // clamped: measurement jitter can't push the ratio past 1
+        w.transfer_hidden_s = 9.0;
+        assert_eq!(w.transfer_overlap_ratio(), 1.0);
+        // no transfer measured -> defined as zero overlap
+        assert_eq!(WallStageTimes::default().transfer_overlap_ratio(), 0.0);
+        // hidden time averages like the other stages
+        let a = WallStageTimes {
+            transfer_s: 2.0,
+            transfer_hidden_s: 1.0,
+            ..Default::default()
+        };
+        let b = WallStageTimes {
+            transfer_s: 4.0,
+            transfer_hidden_s: 3.0,
+            ..Default::default()
+        };
+        let m = WallStageTimes::mean_of([a, b].iter());
+        assert!((m.transfer_hidden_s - 2.0).abs() < 1e-12);
+        assert!((m.transfer_overlap_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

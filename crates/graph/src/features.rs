@@ -146,17 +146,38 @@ pub fn gather_features_into(out: &mut Matrix, x: &Matrix, indices: &[u32]) {
         });
 }
 
+/// Row-ownership histogram of a gather: how many of `indices` fall in
+/// each of `num_domains` contiguous row domains of `rows_per_domain`
+/// source rows. This is the weight vector the NUMA gather hands to
+/// [`rayon::WorkerGroup::run_sharded_weighted`] so each socket's thread
+/// share matches the rows it actually serves — a cheap `O(n)` count
+/// folded into the loading stage.
+pub fn domain_histogram(indices: &[u32], rows_per_domain: usize, num_domains: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; num_domains];
+    for &src in indices {
+        let d = (src as usize / rows_per_domain).min(num_domains - 1);
+        hist[d] += 1;
+    }
+    hist
+}
+
 /// NUMA-aware variant of [`gather_features_into`]: the source matrix `X`
 /// is modeled as range-partitioned across `num_domains` sockets
 /// (contiguous row domains, the dual-socket layout of the paper's
 /// evaluation node), and the gather is dispatched through `group` so
 /// each socket's rows are copied by the worker threads pinned to that
-/// socket ([`rayon::WorkerGroup::run_sharded`]).
+/// socket — with per-socket thread shares weighted by the sampled rows'
+/// ownership histogram ([`domain_histogram`] +
+/// [`rayon::WorkerGroup::run_sharded_weighted`]), so a batch whose rows
+/// skew heavily to one socket gives that socket's pool the threads
+/// instead of idling the other socket's fair share.
 ///
-/// Every domain's threads sweep the full output range but copy only the
-/// rows whose *source* vertex lives in their domain, so each output row
-/// is written exactly once and the result is bitwise-identical to
-/// [`gather_features_into`] for any `(num_domains, group width)`.
+/// Every owning domain's threads sweep the full output range but copy
+/// only the rows whose *source* vertex lives in their domain (a domain
+/// owning no sampled rows is skipped outright), so each output row is
+/// written exactly once and the result is bitwise-identical to
+/// [`gather_features_into`] for any `(num_domains, group width)` and
+/// any skew.
 pub fn gather_features_numa_into(
     out: &mut Matrix,
     x: &Matrix,
@@ -174,8 +195,9 @@ pub fn gather_features_numa_into(
     // Contiguous range partition of X's rows: socket d owns rows
     // [d*per, (d+1)*per).
     let per = x.rows().div_ceil(num_domains).max(1);
+    let hist = domain_histogram(indices, per, num_domains);
     let base = out.as_mut_slice().as_mut_ptr() as usize;
-    group.run_sharded(indices.len(), num_domains, |d, s, e| {
+    group.run_sharded_weighted(indices.len(), &hist, |d, s, e| {
         for (i, &src) in indices[s..e].iter().enumerate() {
             if src as usize / per != d {
                 continue; // row owned by another socket's workers
@@ -322,6 +344,44 @@ mod tests {
                 out.as_slice(),
                 reference.as_slice(),
                 "concurrent NUMA gather diverged at {domains} domains"
+            );
+        }
+        std::env::remove_var("HYSCALE_RAYON_THREADS");
+    }
+
+    #[test]
+    fn domain_histogram_pins_the_skewed_split() {
+        // 97 source rows over 2 domains: per = 49, domain 0 = rows 0..49
+        let skewed: Vec<u32> = (0..300).map(|i| (i * 7) % 49).collect();
+        let hist = domain_histogram(&skewed, 49, 2);
+        assert_eq!(hist, vec![300, 0], "all rows owned by socket 0");
+        // the weighted split hands socket 0 every loader thread
+        assert_eq!(rayon::weighted_shares(8, &hist), vec![8, 0]);
+        // 3:1 skew pins a 3:1 thread share (the ROADMAP skew case)
+        let mixed: Vec<u32> = (0..400)
+            .map(|i| if i % 4 == 0 { 60 } else { i as u32 % 49 })
+            .collect();
+        let hist = domain_histogram(&mixed, 49, 2);
+        assert_eq!(hist, vec![300, 100]);
+        assert_eq!(rayon::weighted_shares(8, &hist), vec![6, 2]);
+    }
+
+    #[test]
+    fn numa_gather_matches_flat_under_heavy_skew() {
+        // Every sampled row lives on socket 0: the weighted dispatch
+        // skips socket 1 entirely and must still be bitwise-identical.
+        std::env::set_var("HYSCALE_RAYON_THREADS", "4");
+        let x = randn(128, 6, 31);
+        let skewed: Vec<u32> = (0..500).map(|i| (i * 13) % 64).collect(); // rows 0..64
+        let reference = gather_features(&x, &skewed);
+        for domains in [2usize, 4] {
+            let group = rayon::WorkerGroup::new("loader", 4);
+            let mut out = Matrix::full(3, 3, f32::NAN);
+            gather_features_numa_into(&mut out, &x, &skewed, domains, &group);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "skewed NUMA gather diverged at {domains} domains"
             );
         }
         std::env::remove_var("HYSCALE_RAYON_THREADS");

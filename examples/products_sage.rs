@@ -110,13 +110,14 @@ fn real_pipeline_demo() {
         let stages = last.wall_stages;
         println!(
             "  depth {depth}: epoch wall {:>7.3}s  (stages s/l/t/p {:>6.1}/{:>5.1}/{:>6.1}/{:>6.1} ms, \
-             overlap {:>4.2}x, loss {:.3})",
+             overlap {:>4.2}x, transfer hidden {:>3.0}%, loss {:.3})",
             last.wall_s,
             stages.sample_s * 1e3,
             stages.load_s * 1e3,
             stages.transfer_s * 1e3,
             stages.train_s * 1e3,
             stages.overlap_factor(),
+            stages.transfer_overlap_ratio() * 100.0,
             last.loss,
         );
         last.wall_s

@@ -1,6 +1,9 @@
 //! System-level DRM behaviour (paper §IV-A): starting from a bad task
 //! mapping, Algorithm 1 must converge to a faster one while preserving
-//! the per-iteration seed total and the CPU thread budget.
+//! the per-iteration seed total and the CPU thread budget — and its two
+//! move kinds must have the right drain semantics on the producer's
+//! staging rings (`balance_work` drains them, `balance_thread` does
+//! not).
 
 use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
 use hyscale::core::{AcceleratorKind, PerfModel, SystemConfig};
@@ -134,4 +137,142 @@ fn balance_thread_resizes_live_worker_pools() {
         workers.group(Stage::Load).unwrap().width(),
         threads.threads_for(Stage::Load)
     );
+}
+
+/// Build an [`IterationFeed`] over a toy dataset with `num_accel`
+/// accelerator trainers, prefetch depth `depth`, and staging rings of
+/// `ring_depth` slots, plus the quotas it was spawned under.
+mod ring_fixture {
+    use hyscale::core::drm::ThreadAlloc;
+    use hyscale::core::stages::StageWorkers;
+    use hyscale::core::{IterationFeed, MatrixPool, PrepareCtx, StagingRings};
+    use hyscale::graph::Dataset;
+    use hyscale::sampler::{EpochBatcher, NeighborSampler};
+    use hyscale::tensor::Precision;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    pub fn feed(
+        num_accel: usize,
+        depth: usize,
+        ring_depth: usize,
+    ) -> (IterationFeed, Arc<MatrixPool>, Vec<usize>) {
+        let dataset = Arc::new(Dataset::toy(5));
+        let batcher = EpochBatcher::new(dataset.splits.train.clone(), 99);
+        let order = Arc::new(batcher.epoch_order(0));
+        let ctx = Arc::new(PrepareCtx {
+            dataset,
+            batcher,
+            sampler: NeighborSampler::new(vec![4, 3], 17),
+            precision: Precision::Int8,
+            hybrid: true,
+            workers: Arc::new(StageWorkers::from_alloc(&ThreadAlloc::default_for(8))),
+            numa_domains: 2,
+            rings: Arc::new(StagingRings::new(num_accel, ring_depth)),
+            origin: Instant::now(),
+        });
+        let pool = Arc::new(MatrixPool::new());
+        let quotas = vec![8usize; 1 + num_accel];
+        let feed = IterationFeed::new(
+            ctx,
+            order,
+            0,
+            usize::MAX,
+            depth,
+            Arc::clone(&pool),
+            quotas.clone(),
+        );
+        (feed, pool, quotas)
+    }
+}
+
+/// `balance_work` semantics: a quota change invalidates the producer
+/// queue *and* drains every staging ring — the staged wire transfers
+/// were built under a split that no longer exists.
+#[test]
+fn balance_work_drains_staging_rings() {
+    let (mut feed, pool, quotas) = ring_fixture::feed(2, 2, 2);
+    let first = feed.obtain(0, &quotas).expect("first iteration");
+    assert_eq!(first.slots.len(), 2, "one staging slot per accel batch");
+    first.recycle(&pool);
+    assert_eq!(feed.rings().drains_total(), 0);
+
+    // the DRM moves 4 seeds from accel trainer 1 to the CPU trainer
+    let new_quotas = vec![12usize, 4, 8];
+    feed.invalidate(1, new_quotas.clone());
+    assert_eq!(feed.restarts(), 1, "balance_work must restart the producer");
+    assert_eq!(
+        feed.rings().drains_total(),
+        feed.rings().num_rings(),
+        "balance_work must drain every staging ring"
+    );
+
+    // a second balance_work drains again
+    let newer_quotas = vec![8usize, 8, 8];
+    feed.invalidate(2, newer_quotas.clone());
+    assert_eq!(feed.rings().drains_total(), 2 * feed.rings().num_rings());
+
+    // the feed still serves correct iterations afterwards
+    let third = feed.obtain(2, &newer_quotas).expect("post-drain iteration");
+    assert_eq!(third.quotas, newer_quotas);
+    third.recycle(&pool);
+    let rings = std::sync::Arc::clone(feed.rings());
+    feed.finish();
+    assert_eq!(rings.in_flight_total(), 0, "slots leaked");
+}
+
+/// `balance_thread` semantics: re-sizing the worker pools must leave
+/// the staging rings intact — no drain, no restart, in-flight staged
+/// batches stay valid (pool widths change wall-clock, never bytes).
+#[test]
+fn balance_thread_leaves_staging_rings_intact() {
+    let (mut feed, pool, quotas) = ring_fixture::feed(2, 2, 2);
+    let first = feed.obtain(0, &quotas).expect("first iteration");
+    first.recycle(&pool);
+
+    let moved = ThreadAlloc {
+        sampler: 2,
+        loader: 4,
+        trainer: 2,
+    };
+    feed.rebalance_threads(&moved);
+    assert_eq!(feed.workers().observed(), moved);
+    assert_eq!(feed.restarts(), 0, "balance_thread must not restart");
+    assert_eq!(
+        feed.rings().drains_total(),
+        0,
+        "balance_thread must not drain the staging rings"
+    );
+
+    // prepared iterations keep flowing through the untouched rings
+    for iter in 1..=3 {
+        let prep = feed.obtain(iter, &quotas).expect("post-move iteration");
+        assert_eq!(prep.slots.len(), 2);
+        prep.recycle(&pool);
+    }
+    assert_eq!(feed.rings().drains_total(), 0);
+    let rings = std::sync::Arc::clone(feed.rings());
+    feed.finish();
+    assert_eq!(rings.in_flight_total(), 0, "slots leaked");
+}
+
+/// Single-slot rings (ring depth 1) still serve the feed correctly —
+/// the transfer stage just serializes against slot release.
+#[test]
+fn single_slot_rings_serve_and_drain() {
+    let (mut feed, pool, quotas) = ring_fixture::feed(2, 1, 1);
+    for iter in 0..3 {
+        let prep = feed.obtain(iter, &quotas).expect("iteration");
+        assert_eq!(prep.slots.len(), 2);
+        assert!(prep.slots.iter().all(|s| s.accel() < 2));
+        prep.recycle(&pool);
+    }
+    let new_quotas = vec![10usize, 6, 8];
+    feed.invalidate(3, new_quotas.clone());
+    assert_eq!(feed.rings().drains_total(), 2);
+    let next = feed.obtain(3, &new_quotas).expect("post-drain");
+    next.recycle(&pool);
+    let rings = std::sync::Arc::clone(feed.rings());
+    feed.finish();
+    assert_eq!(rings.in_flight_total(), 0);
 }

@@ -143,13 +143,14 @@ fn accelerator_kind_does_not_change_numerics() {
 }
 
 /// The real prefetching pipeline is pure wall-clock overlap: for every
-/// depth in {1, 2, 4}, final weights are bitwise-identical to serial
-/// execution (`depth = 0`). DRM is pinned off here so the whole epoch
-/// runs through an uninterrupted producer queue.
+/// prefetch depth in {1, 2, 4} × staging-ring depth in {1, 2}, final
+/// weights are bitwise-identical to serial execution (`depth = 0`).
+/// DRM is pinned off here so the whole epoch runs through an
+/// uninterrupted producer queue.
 #[test]
 fn prefetch_depths_are_bitwise_identical_to_serial() {
     use hyscale::core::drm::{ThreadAlloc, WorkloadSplit};
-    let run = |depth: usize| {
+    let run = |depth: usize, ring_depth: usize| {
         let ds = Dataset::toy(29);
         let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::GraphSage);
         cfg.platform.num_accelerators = 2;
@@ -163,6 +164,7 @@ fn prefetch_depths_are_bitwise_identical_to_serial() {
         cfg.train.hidden_dim = 16;
         cfg.train.max_functional_iters = Some(5);
         cfg.train.prefetch_depth = depth;
+        cfg.train.staging_ring_depth = ring_depth;
         let mut t = HybridTrainer::new(cfg, ds);
         t.set_mapping(
             WorkloadSplit::new(48, 144, 2),
@@ -171,13 +173,15 @@ fn prefetch_depths_are_bitwise_identical_to_serial() {
         t.train_epochs(3);
         t.model().flatten_params()
     };
-    let serial = run(0);
-    for depth in [1usize, 2, 4] {
-        assert_eq!(
-            serial,
-            run(depth),
-            "prefetch depth {depth} altered training numerics"
-        );
+    let serial = run(0, 2);
+    for ring_depth in [1usize, 2] {
+        for depth in [1usize, 2, 4] {
+            assert_eq!(
+                serial,
+                run(depth, ring_depth),
+                "prefetch depth {depth} at ring depth {ring_depth} altered training numerics"
+            );
+        }
     }
 }
 
@@ -290,14 +294,16 @@ fn thread_allocs_are_bitwise_identical_across_depths() {
 }
 
 /// Live DRM with both move kinds firing mid-epoch: `balance_work`
-/// re-maps quotas (draining the queue) and `balance_thread` re-sizes
-/// the worker pools in place — weights, losses, and the DRM trajectory
-/// itself must stay bitwise-identical to serial at depths {1, 2}, and
-/// the measured-wall trace must show the thread shift landing.
+/// re-maps quotas (draining the queue *and* the staging rings) and
+/// `balance_thread` re-sizes the worker pools in place (draining
+/// neither) — weights, losses, and the DRM trajectory itself must stay
+/// bitwise-identical to serial at prefetch depths {1, 2} × staging-ring
+/// depths {1, 2}, and the measured-wall trace must show the thread
+/// shift landing.
 #[test]
 fn thread_rebalance_mid_epoch_is_bitwise_identical() {
     use hyscale::core::drm::DrmAction;
-    let run = |depth: usize| {
+    let run = |depth: usize, ring_depth: usize| {
         let ds = Dataset::toy(31);
         let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), GnnKind::Gcn);
         cfg.platform.num_accelerators = 2;
@@ -311,6 +317,7 @@ fn thread_rebalance_mid_epoch_is_bitwise_identical() {
         cfg.train.hidden_dim = 16;
         cfg.train.max_functional_iters = Some(8);
         cfg.train.prefetch_depth = depth;
+        cfg.train.staging_ring_depth = ring_depth;
         let mut t = HybridTrainer::new(cfg, ds);
         let reports = t.train_epochs(2);
         let thread_moves: usize = reports
@@ -337,10 +344,16 @@ fn thread_rebalance_mid_epoch_is_bitwise_identical() {
             observed_allocs,
         )
     };
-    let (serial_params, serial_losses, serial_actions, serial_moves, serial_allocs) = run(0);
+    let (serial_params, serial_losses, serial_actions, serial_moves, serial_allocs) = run(0, 2);
     assert!(
         serial_moves >= 1,
         "config never triggered a balance_thread move — the re-allocation path went unexercised"
+    );
+    assert!(
+        serial_actions
+            .iter()
+            .any(|(_, a, _)| matches!(a, DrmAction::BalanceWork { .. })),
+        "config never triggered a balance_work move — the ring-drain path went unexercised"
     );
     // The wall-clock trace shows the re-allocation land: the producer's
     // observed widths change across the epoch.
@@ -352,18 +365,20 @@ fn thread_rebalance_mid_epoch_is_bitwise_identical() {
         distinct.len() >= 2,
         "balance_thread never shifted the widths the producer observed: {serial_allocs:?}"
     );
-    for depth in [1usize, 2] {
-        let (params, losses, actions, moves, _) = run(depth);
-        assert_eq!(
-            serial_actions, actions,
-            "depth {depth} saw a different DRM trajectory"
-        );
-        assert_eq!(serial_moves, moves);
-        assert_eq!(
-            serial_params, params,
-            "depth {depth} diverged from serial across a balance_thread re-allocation"
-        );
-        assert_eq!(serial_losses, losses);
+    for ring_depth in [1usize, 2] {
+        for depth in [1usize, 2] {
+            let (params, losses, actions, moves, _) = run(depth, ring_depth);
+            assert_eq!(
+                serial_actions, actions,
+                "depth {depth} ring {ring_depth} saw a different DRM trajectory"
+            );
+            assert_eq!(serial_moves, moves);
+            assert_eq!(
+                serial_params, params,
+                "depth {depth} ring {ring_depth} diverged from serial across live DRM moves"
+            );
+            assert_eq!(serial_losses, losses);
+        }
     }
 }
 

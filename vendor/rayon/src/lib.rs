@@ -60,6 +60,48 @@ pub fn max_threads() -> usize {
     host_threads()
 }
 
+/// Apportion `total` threads across domains proportionally to
+/// `weights`, by largest remainder (Hamilton's method): domain `d` gets
+/// `⌊total·w_d/W⌋` plus at most one of the leftover threads, leftovers
+/// going to the largest fractional remainders (ties to the lowest
+/// index). Zero-weight domains get zero threads; the shares always sum
+/// to `total` (when any weight is positive). Deterministic in
+/// `(total, weights)` alone.
+///
+/// This is how [`WorkerGroup::run_sharded_weighted`] turns a NUMA
+/// row-ownership histogram into per-socket thread shares:
+///
+/// ```
+/// // 8 loader threads; socket 0 owns 300 of the sampled rows, socket 1
+/// // owns 100 -> 3:1 thread split instead of the fair 4:4
+/// assert_eq!(rayon::weighted_shares(8, &[300, 100]), vec![6, 2]);
+/// // full skew: a socket owning nothing gets no threads at all
+/// assert_eq!(rayon::weighted_shares(8, &[400, 0]), vec![8, 0]);
+/// // equal weights reduce to the fair split (remainder to the front)
+/// assert_eq!(rayon::weighted_shares(5, &[1, 1]), vec![3, 2]);
+/// ```
+pub fn weighted_shares(total: usize, weights: &[usize]) -> Vec<usize> {
+    let w_sum: usize = weights.iter().sum();
+    if w_sum == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, usize)> = Vec::with_capacity(weights.len()); // (rem, index)
+    let mut assigned = 0usize;
+    for (d, &w) in weights.iter().enumerate() {
+        let exact = total * w;
+        shares.push(exact / w_sum);
+        assigned += exact / w_sum;
+        remainders.push((exact % w_sum, d));
+    }
+    // largest remainder first; ties broken toward the lowest index
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, d) in remainders.iter().take(total - assigned) {
+        shares[d] += 1;
+    }
+    shares
+}
+
 /// Split `len` items into at most `max_threads()` contiguous ranges and
 /// run `work(start, end)` for each, in parallel when worthwhile.
 fn run_partitioned<F>(len: usize, work: F)
@@ -404,30 +446,64 @@ impl WorkerGroup {
     where
         F: Fn(usize, usize, usize) + Sync,
     {
+        self.run_sharded_weighted(len, &vec![1usize; num_domains], work);
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with *weighted* per-domain
+    /// thread shares: domain `d` receives a share of the effective width
+    /// proportional to `weights[d]` (largest-remainder apportionment,
+    /// see [`weighted_shares`]). The intended weights are the item
+    /// ownership histogram — how many of the `len` items each domain
+    /// actually owns — so a skewed batch doesn't leave the lightly-owned
+    /// domains' threads idle while the heavy domain crawls.
+    ///
+    /// `weights[d] == 0` asserts that domain `d` owns *no* items: its
+    /// sweep is skipped entirely (owning nothing, it would write
+    /// nothing), which keeps results identical to the unweighted
+    /// dispatch. An all-zero `weights` falls back to the fair split.
+    pub fn run_sharded_weighted<F>(&self, len: usize, weights: &[usize], work: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        let num_domains = weights.len();
         if len == 0 || num_domains == 0 {
             return;
         }
+        if weights.iter().all(|&w| w == 0) {
+            // Degenerate histogram (caller counted nothing): fair split.
+            return self.run_sharded(len, num_domains, work);
+        }
         let effective = self.effective_width();
-        if effective < num_domains.max(2) || len < SEQ_THRESHOLD {
-            // Too few real threads to give every domain one: run the
-            // domains inline on the caller.
-            for d in 0..num_domains {
-                work(d, 0, len);
+        let active = weights.iter().filter(|&&w| w > 0).count();
+        if effective < active.max(2) || len < SEQ_THRESHOLD {
+            // Too few real threads to give every active domain one: run
+            // the domains inline on the caller.
+            for (d, &weight) in weights.iter().enumerate() {
+                if weight > 0 {
+                    work(d, 0, len);
+                }
             }
             return;
         }
-        // Fair split of the *effective* width across domains (each ≥ 1
-        // since effective ≥ num_domains here), so the total spawned
-        // tasks equal the effective width exactly — bounded by the host
+        // Weighted split of the *effective* width across the active
+        // domains, so the total spawned tasks stay bounded by the host
         // even when the logical budget is large.
-        let base = effective / num_domains;
-        let rem = effective % num_domains;
+        let shares = weighted_shares(effective, weights);
         std::thread::scope(|scope| {
             let work = &work;
             let mut first: Option<(usize, usize, usize)> = None;
-            for d in 0..num_domains {
-                let share = base + usize::from(d < rem);
-                let threads = share.min(len);
+            let mut starved: Vec<usize> = Vec::new();
+            for (d, &weight) in weights.iter().enumerate() {
+                if weight == 0 {
+                    continue; // owns nothing: nothing to sweep for
+                }
+                let threads = shares[d].min(len);
+                if threads == 0 {
+                    // active but below one thread's worth of weight:
+                    // sweep inline on the caller after the spawns
+                    starved.push(d);
+                    continue;
+                }
                 let per = len.div_ceil(threads);
                 let mut start = 0;
                 while start < len {
@@ -443,6 +519,9 @@ impl WorkerGroup {
             }
             if let Some((d, s, e)) = first {
                 work(d, s, e);
+            }
+            for d in starved {
+                work(d, 0, len);
             }
         });
     }
@@ -708,6 +787,55 @@ mod tests {
         for d in &per_domain {
             assert_eq!(d.load(Ordering::Relaxed), len);
         }
+    }
+
+    #[test]
+    fn weighted_shares_pin_the_skewed_split() {
+        // the ROADMAP "NUMA gather skew" case: rows skew 3:1 to socket 0
+        assert_eq!(super::weighted_shares(8, &[300, 100]), vec![6, 2]);
+        assert_eq!(super::weighted_shares(8, &[100, 300]), vec![2, 6]);
+        // full skew: the idle socket gets no threads
+        assert_eq!(super::weighted_shares(16, &[997, 0]), vec![16, 0]);
+        assert_eq!(super::weighted_shares(16, &[0, 997]), vec![0, 16]);
+        // shares always sum to the total handed in
+        for weights in [vec![1usize, 2, 3], vec![7, 1, 1, 1], vec![0, 5, 0, 3]] {
+            for total in [1usize, 3, 8, 64] {
+                let shares = super::weighted_shares(total, &weights);
+                assert_eq!(shares.iter().sum::<usize>(), total, "{total} {weights:?}");
+            }
+        }
+        // degenerate inputs
+        assert_eq!(super::weighted_shares(8, &[0, 0]), vec![0, 0]);
+        assert_eq!(super::weighted_shares(0, &[3, 1]), vec![0, 0]);
+    }
+
+    #[test]
+    fn run_sharded_weighted_covers_active_domains_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        std::env::set_var("HYSCALE_RAYON_THREADS", "4");
+        let g = super::WorkerGroup::new("numa", 8);
+        let len = 743;
+        // skewed ownership: domain 0 owns ~everything, domain 2 nothing
+        let weights = [700usize, 43, 0];
+        let per_domain: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        g.run_sharded_weighted(len, &weights, |d, s, e| {
+            per_domain[d].fetch_add(e - s, Ordering::Relaxed);
+        });
+        // active domains sweep the full range exactly once...
+        assert_eq!(per_domain[0].load(Ordering::Relaxed), len);
+        assert_eq!(per_domain[1].load(Ordering::Relaxed), len);
+        // ...and the zero-owner domain is skipped entirely
+        assert_eq!(per_domain[2].load(Ordering::Relaxed), 0);
+
+        // an all-zero histogram degrades to the fair sweep (every domain
+        // covered — the caller counted nothing, so no domain may be
+        // skipped)
+        let fair: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        g.run_sharded_weighted(97, &[0, 0], |d, s, e| {
+            fair[d].fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert!(fair.iter().all(|d| d.load(Ordering::Relaxed) == 97));
+        std::env::remove_var("HYSCALE_RAYON_THREADS");
     }
 
     #[test]
