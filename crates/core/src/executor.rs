@@ -31,7 +31,7 @@
 //!   the slowest-stage bound.
 
 use crate::config::SystemConfig;
-use crate::drm::{DrmAction, DrmEngine, ThreadAlloc, WorkloadSplit};
+use crate::drm::{DrmAction, DrmEngine, ScriptedDrm, ScriptedDrmEvent, ThreadAlloc, WorkloadSplit};
 use crate::perf_model::{compute_stage_times, PerfModel, StageInputs};
 use crate::prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration, StagingRings};
 use crate::protocol::TrainingRound;
@@ -64,6 +64,10 @@ pub struct HybridTrainer {
     pool: Arc<MatrixPool>,
     rings: Arc<StagingRings>,
     next_epoch: u64,
+    /// Scripted DRM moves applied after their `(epoch, iter)` slot —
+    /// the deterministic injection point the randomized DRM-schedule
+    /// equivalence harness drives (empty in production).
+    drm_schedule: Vec<ScriptedDrmEvent>,
 }
 
 impl HybridTrainer {
@@ -102,7 +106,19 @@ impl HybridTrainer {
             pool: Arc::new(MatrixPool::new()),
             rings,
             next_epoch: 0,
+            drm_schedule: Vec::new(),
         }
+    }
+
+    /// Install a scripted DRM schedule: each event fires after its
+    /// `(epoch, iter)` iteration completes, *in addition to* whatever
+    /// the live engine decides (tests usually run with `opt.drm` off so
+    /// the script is the only source of re-mapping). Scripted
+    /// `balance_work` moves are clamped by the split exactly like
+    /// engine moves, so a scripted shift can legitimately land as a
+    /// zero-diff re-map — the no-op invalidation path.
+    pub fn set_drm_schedule(&mut self, schedule: Vec<ScriptedDrmEvent>) {
+        self.drm_schedule = schedule;
     }
 
     /// Current workload split (inspectable for DRM traces).
@@ -288,6 +304,12 @@ impl HybridTrainer {
 
         for iter in 0..functional_iters {
             let iter_wall = Instant::now();
+            // Salvage accounting snapshot: everything the feed salvages
+            // or flushes during this iteration (stale-recovery inside
+            // `obtain`, DRM/scripted invalidations below) lands in this
+            // iteration's measured walls.
+            let (salvaged0, flushed0) = feed.salvage_stats();
+            let invalidation0 = feed.invalidation_wall_s();
             let quotas = self.split.quotas();
             // Sampling + Feature Loading + wire round-trip: prepared
             // inline at depth 0, received from the producer otherwise.
@@ -472,6 +494,34 @@ impl HybridTrainer {
                 _ => {}
             }
 
+            // Scripted DRM moves (test/bench injection) ride the exact
+            // same invalidation paths as live engine decisions.
+            for k in 0..self.drm_schedule.len() {
+                let ev = self.drm_schedule[k];
+                if ev.epoch != epoch || ev.iter != iter {
+                    continue;
+                }
+                match ev.action {
+                    ScriptedDrm::BalanceWork { to_cpu } => {
+                        if to_cpu >= 0 {
+                            self.split.shift_to_cpu(to_cpu as usize);
+                        } else {
+                            self.split.shift_to_accel(to_cpu.unsigned_abs());
+                        }
+                        feed.invalidate(iter + 1, self.split.quotas());
+                    }
+                    ScriptedDrm::BalanceThread { from, to } => {
+                        if self.threads.shift(from, to) {
+                            feed.rebalance_threads(&self.threads);
+                        }
+                    }
+                    ScriptedDrm::Noop => feed.invalidate(iter + 1, self.split.quotas()),
+                }
+            }
+
+            let (salvaged, flushed) = feed.salvage_stats();
+            let invalidation_s = feed.invalidation_wall_s() - invalidation0;
+
             trace.push(IterationReport {
                 iter,
                 times,
@@ -488,6 +538,9 @@ impl HybridTrainer {
                     transfer_hidden_s,
                     train_s: train_wall_s,
                     iter_s: iter_wall.elapsed().as_secs_f64(),
+                    batches_salvaged: salvaged - salvaged0,
+                    batches_flushed: flushed - flushed0,
+                    invalidation_s,
                     threads: observed_threads,
                 },
             });

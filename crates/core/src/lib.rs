@@ -53,7 +53,7 @@ pub mod stages;
 pub mod sync;
 
 pub use config::{AcceleratorKind, OptFlags, PlatformConfig, SystemConfig, TrainConfig};
-pub use drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+pub use drm::{DrmEngine, QuotaDiff, ScriptedDrm, ScriptedDrmEvent, ThreadAlloc, WorkloadSplit};
 pub use executor::HybridTrainer;
 pub use perf_model::PerfModel;
 pub use prefetch::{

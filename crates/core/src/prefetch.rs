@@ -35,12 +35,19 @@
 //! bitwise-identical to one prepared inline, and staging rings only
 //! re-time the round-trip (which is itself deterministic per matrix).
 //! The one hazard is the DRM engine re-balancing `quotas` mid-epoch:
-//! prepared iterations carry the quotas they were built under, and
-//! [`IterationFeed`] drains and invalidates the queue *and the staging
-//! rings* (restarting the producer with the new quotas) whenever they
-//! disagree with what the consumer currently wants —
-//! `tests/equivalence.rs` pins weights bitwise across prefetch depths
-//! {0, 1, 2, 4} × ring depths {1, 2} including across re-mapping events.
+//! prepared iterations carry the quotas *and the quota epoch* (re-map
+//! generation counter) they were built under, so a straggler from an
+//! outdated plan is rejected at receive time rather than globally
+//! flushed. Invalidation itself is **surgical**
+//! ([`IterationFeed::invalidate`]): a `balance_work` move re-slices
+//! only the trainers whose seed slice actually moved — settled
+//! trainers keep their queued batches, pooled matrices, and staging
+//! slots — and drains only the rings of *changed* lanes; a zero-diff
+//! re-map is a no-op, and only missed-event recovery pays the full
+//! flush (`drain_all`). `tests/equivalence.rs` and the randomized
+//! DRM-schedule harness in `tests/proptest_invariants.rs` pin weights
+//! bitwise across prefetch depths {0, 1, 2, 4} × ring depths {1, 2}
+//! including across re-mapping events.
 //!
 //! ## Allocation discipline
 //!
@@ -65,13 +72,14 @@
 //! [`PreparedIteration`] records the [`ThreadAlloc`] it was built under
 //! so traces show the shift land.
 
-use crate::drm::ThreadAlloc;
+use crate::drm::{QuotaDiff, ThreadAlloc};
 use crate::stages::StageWorkers;
 use hyscale_graph::features::gather_features_numa_into;
 use hyscale_graph::Dataset;
 use hyscale_sampler::{EpochBatcher, MiniBatch, NeighborSampler};
 use hyscale_tensor::{Matrix, Precision};
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
@@ -204,6 +212,21 @@ impl StagingRing {
         }
     }
 
+    /// Occupy a slot only if one is free right now — never blocks.
+    /// This is the salvage path's acquire: while the consumer re-slices
+    /// queued iterations there is no producer running to free slots, so
+    /// blocking here could deadlock; a newly-activated lane that cannot
+    /// stage immediately makes the iteration unsalvageable instead.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.in_flight < self.depth {
+            st.in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Free a slot (the batch's propagation completed, or its transfer
     /// was abandoned) and wake any transfer blocked on a full ring.
     pub fn release_slot(&self) {
@@ -224,9 +247,10 @@ impl StagingRing {
         self.state.lock().free.push(m);
     }
 
-    /// Record a DRM drain event (the queued transfers this ring staged
-    /// were discarded along with the producer queue). Buffers stay on
-    /// the free list — a drain invalidates *contents*, not allocations.
+    /// Record a DRM drain event (the staged transfers this lane held
+    /// were discarded or re-sliced by a re-mapping that moved this
+    /// lane's share). Buffers stay on the free list — a drain
+    /// invalidates *contents*, not allocations.
     fn drain(&self) {
         self.drains.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
@@ -285,12 +309,38 @@ impl StagingRings {
         self.rings.iter().map(StagingRing::drains).sum()
     }
 
-    /// Record a DRM `balance_work` drain on every ring. Called by
-    /// [`IterationFeed`] after the producer generation serving the old
-    /// quotas has been shut down and its staged batches recycled.
+    /// Record a full re-map drain on every ring. This survives only for
+    /// `set_mapping`-style full re-maps (and the missed-event recovery
+    /// path): a surgical `balance_work` drains per lane via
+    /// [`drain_lanes`](Self::drain_lanes) instead.
     pub(crate) fn drain_all(&self) {
         for r in &self.rings {
             r.drain();
+        }
+    }
+
+    /// Record a DRM `balance_work` drain on exactly the lanes whose
+    /// quota share moved (`mask[a]` true). Untouched lanes keep their
+    /// drain count — the pinned "surgical" invariant.
+    pub(crate) fn drain_lanes(&self, mask: &[bool]) {
+        for (r, &changed) in self.rings.iter().zip(mask) {
+            if changed {
+                r.drain();
+            }
+        }
+    }
+
+    /// Occupy a slot on ring `a` without blocking; `None` when the ring
+    /// is full. Used by the salvage path when a re-map activates a lane
+    /// that held no slot in the queued iteration.
+    pub fn try_acquire_token(self: &Arc<Self>, a: usize) -> Option<SlotToken> {
+        if self.rings[a].try_acquire() {
+            Some(SlotToken {
+                rings: Arc::clone(self),
+                accel: a,
+            })
+        } else {
+            None
         }
     }
 
@@ -396,6 +446,13 @@ pub struct PreparedIteration {
     /// The per-trainer seed quotas this iteration was prepared under —
     /// the consumer validates these against the live workload split.
     pub quotas: Vec<usize>,
+    /// The quota epoch (re-map generation counter) this iteration was
+    /// sliced under. [`IterationFeed`] bumps its counter on every
+    /// re-map, so a batch prepared under an outdated plan is rejected
+    /// at receive time by a counter compare — no global flush needed to
+    /// defend against stragglers. Serial (inline) preparation always
+    /// stamps 0.
+    pub quota_epoch: u64,
     /// Per-trainer seed sets (empty for idle trainers).
     pub seed_sets: Vec<Vec<u32>>,
     /// Per-trainer sampled mini-batches (`None` for idle trainers).
@@ -601,6 +658,7 @@ fn apply_transfer(
     PreparedIteration {
         iter,
         quotas,
+        quota_epoch: 0,
         seed_sets,
         batches,
         features,
@@ -634,6 +692,187 @@ pub fn prepare_iteration(
     Some(apply_transfer(ctx, staged, Vec::new()))
 }
 
+/// Per-trainer batch accounting of one `reslice_iteration` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResliceOutcome {
+    /// Batches whose trainer's seed slice (and sampler stream) did not
+    /// move: kept verbatim — sampled mini-batch, gathered features,
+    /// wire round-trip, and staging slot all survive.
+    pub salvaged: usize,
+    /// Batches discarded and (where the trainer stays active) redone
+    /// under the new slicing.
+    pub flushed: usize,
+}
+
+/// Re-map one queued iteration in place from the quotas it was sliced
+/// under to `new_quotas` — the surgical core of DRM invalidation.
+///
+/// Trainers whose seed slice is byte-identical under the new quotas
+/// *and* whose sampler stream rank (index among non-empty trainers) is
+/// unchanged keep everything: sampled mini-batch, gathered feature
+/// matrix, completed wire round-trip, staging slot. Every other trainer
+/// is re-sliced: its old batch is dropped, its buffer reused, and its
+/// mini-batch re-sampled / re-gathered / re-round-tripped under exactly
+/// the streams a from-scratch producer would use — so the result is
+/// bitwise-identical to serial preparation under `new_quotas`.
+///
+/// Returns `None` (leaving the iteration unusable — the caller recycles
+/// it) when the iteration does not exist under the new plan, the
+/// trainer topology changed, or a newly-activated lane's staging ring
+/// has no free slot (the salvage path never blocks on a slot: no
+/// producer is running to free one).
+fn reslice_iteration(
+    ctx: &PrepareCtx,
+    order: &[u32],
+    epoch: u64,
+    prep: &mut PreparedIteration,
+    new_quotas: &[usize],
+    pool: &MatrixPool,
+) -> Option<ResliceOutcome> {
+    let (plan_iter, new_seed_sets) = ctx.batcher.plan(order, prep.iter, new_quotas).next()?;
+    debug_assert_eq!(plan_iter, prep.iter);
+    if new_seed_sets.len() != prep.seed_sets.len() {
+        return None; // trainer topology changed: nothing is salvageable
+    }
+    let n = new_seed_sets.len();
+    // Sampler streams are assigned by rank among the iteration's
+    // non-empty trainers, so a trainer is only salvageable if its rank
+    // is stable too (a preceding trainer going empty/non-empty shifts
+    // every later stream).
+    let rank = |sets: &[Vec<u32>], t: usize| sets[..t].iter().filter(|s| !s.is_empty()).count();
+    let keep: Vec<bool> = (0..n)
+        .map(|t| {
+            prep.seed_sets[t] == new_seed_sets[t]
+                && rank(&prep.seed_sets, t) == rank(&new_seed_sets, t)
+        })
+        .collect();
+
+    // --- Staging slots first (the only fallible step): keep tokens on
+    // lanes that stay active, drop tokens on deactivated lanes, and
+    // take a slot non-blockingly for newly-activated lanes.
+    let mut held: Vec<Option<SlotToken>> = (0..ctx.rings.num_rings()).map(|_| None).collect();
+    for tok in prep.slots.drain(..) {
+        let a = tok.accel();
+        held[a] = Some(tok);
+    }
+    let mut slots = Vec::new();
+    for (t, seeds) in new_seed_sets.iter().enumerate() {
+        if seeds.is_empty() {
+            continue;
+        }
+        if let Some(a) = ctx.accel_of(t) {
+            match held[a].take().or_else(|| ctx.rings.try_acquire_token(a)) {
+                Some(tok) => slots.push(tok),
+                None => return None, // lane full — unsalvageable without blocking
+            }
+        }
+    }
+    drop(held); // deactivated lanes' tokens release their slots here
+    prep.slots = slots;
+
+    // --- Per-trainer triage: count salvage, release changed trainers'
+    // batches, and collect the ones that need rebuilding.
+    let mut outcome = ResliceOutcome::default();
+    let mut rebuild: Vec<usize> = Vec::new();
+    for t in 0..n {
+        if keep[t] {
+            outcome.salvaged += usize::from(prep.batches[t].is_some());
+            continue;
+        }
+        outcome.flushed += usize::from(prep.batches[t].is_some());
+        prep.batches[t] = None;
+        if new_seed_sets[t].is_empty() {
+            // trainer deactivated: its buffer goes back for reuse
+            if let Some(m) = prep.features[t].take() {
+                match ctx.accel_of(t) {
+                    Some(a) => ctx.rings.ring(a).put_buffer(m),
+                    None => pool.release(m),
+                }
+            }
+        } else {
+            rebuild.push(t);
+        }
+    }
+
+    // --- Re-sample the rebuilt trainers under the producer's stream
+    // derivation: (epoch, iter) base plus the trainer's non-empty rank.
+    let stream_base = epoch.wrapping_mul(1 << 20) + prep.iter as u64 * 64;
+    let sample_start = Instant::now();
+    let resampled: Vec<MiniBatch> = ctx.workers.sampler().install(|| {
+        rebuild
+            .iter()
+            .map(|&t| {
+                let stream = stream_base.wrapping_add(rank(&new_seed_sets, t) as u64 + 1);
+                ctx.sampler
+                    .sample(&ctx.dataset.graph, &new_seed_sets[t], stream)
+            })
+            .collect()
+    });
+    prep.sample_wall_s += sample_start.elapsed().as_secs_f64();
+
+    // --- Re-gather, reusing each trainer's existing buffer (then the
+    // lane free list, then the shared pool), fanned out over loader
+    // lanes exactly like the producer's gather stage.
+    let load_start = Instant::now();
+    let bufs: Vec<Mutex<Option<Matrix>>> = rebuild
+        .iter()
+        .map(|&t| {
+            Mutex::new(Some(
+                prep.features[t]
+                    .take()
+                    .or_else(|| {
+                        ctx.accel_of(t)
+                            .and_then(|a| ctx.rings.ring(a).take_buffer())
+                    })
+                    .unwrap_or_else(|| pool.acquire()),
+            ))
+        })
+        .collect();
+    let gathered: Mutex<Vec<(usize, Matrix)>> = Mutex::new(Vec::with_capacity(rebuild.len()));
+    ctx.workers.loader().fan_out(rebuild.len(), |k, lane| {
+        let mut x = bufs[k].lock().take().expect("buffer taken once per item");
+        gather_features_numa_into(
+            &mut x,
+            &ctx.dataset.data.features,
+            &resampled[k].input_nodes,
+            ctx.numa_domains,
+            lane,
+        );
+        gathered.lock().push((rebuild[k], x));
+    });
+    prep.load_wall_s += load_start.elapsed().as_secs_f64();
+
+    // --- Wire round-trip for the rebuilt accelerator batches.
+    let span_start = ctx.origin.elapsed().as_secs_f64();
+    let transfer_start = Instant::now();
+    let mut any_transfer = false;
+    for (t, mut x) in gathered.into_inner() {
+        if ctx.accel_of(t).is_some() {
+            ctx.workers
+                .loader()
+                .install(|| ctx.precision.round_trip_in_place(&mut x));
+            any_transfer = true;
+        }
+        prep.features[t] = Some(x);
+    }
+    prep.transfer_wall_s += transfer_start.elapsed().as_secs_f64();
+    if any_transfer {
+        // The redo replaces the span outright: widening it over the
+        // original transfer would span the queue-sit gap in between and
+        // over-credit hidden-transfer overlap. Dropping the original
+        // span under-reports the (already-hidden) old round-trip — the
+        // conservative direction for an overlap metric.
+        prep.transfer_span = (span_start, ctx.origin.elapsed().as_secs_f64());
+    }
+    for (&t, mb) in rebuild.iter().zip(resampled) {
+        prep.batches[t] = Some(mb);
+    }
+
+    prep.seed_sets = new_seed_sets;
+    prep.quotas = new_quotas.to_vec();
+    Some(outcome)
+}
+
 /// Handle to one background producer run (one contiguous span of
 /// iterations under fixed quotas): a gather thread feeding a transfer
 /// thread feeding the consumer queue.
@@ -641,12 +880,18 @@ struct Prefetcher {
     rx: Receiver<PreparedIteration>,
     stop: Arc<AtomicBool>,
     rings: Arc<StagingRings>,
+    /// Prepared iterations currently sitting in the consumer queue
+    /// (incremented by the transfer stage on send, decremented on
+    /// receive) — lets tests and benches wait for the queue to fill
+    /// deterministically instead of sleeping.
+    ready: Arc<AtomicUsize>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl Prefetcher {
-    /// Spawn a producer covering `start_iter..end_iter` under `quotas`,
-    /// buffering at most `depth` prepared iterations per stage boundary.
+    /// Spawn a producer covering `start_iter..end_iter` under `quotas`
+    /// (stamping `quota_epoch` on every item), buffering at most
+    /// `depth` prepared iterations per stage boundary.
     #[allow(clippy::too_many_arguments)]
     fn spawn(
         ctx: Arc<PrepareCtx>,
@@ -655,6 +900,7 @@ impl Prefetcher {
         start_iter: usize,
         end_iter: usize,
         quotas: Vec<usize>,
+        quota_epoch: u64,
         depth: usize,
         pool: Arc<MatrixPool>,
     ) -> Self {
@@ -662,6 +908,7 @@ impl Prefetcher {
         let (staged_tx, staged_rx) = sync_channel::<StagedIteration>(cap);
         let (ready_tx, rx) = sync_channel::<PreparedIteration>(cap);
         let stop = Arc::new(AtomicBool::new(false));
+        let ready = Arc::new(AtomicUsize::new(0));
         let rings = Arc::clone(&ctx.rings);
 
         let gather_handle = {
@@ -698,6 +945,7 @@ impl Prefetcher {
             let ctx = Arc::clone(&ctx);
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
             std::thread::Builder::new()
                 .name("hyscale-transfer".into())
                 .spawn(move || {
@@ -714,8 +962,17 @@ impl Prefetcher {
                             staged.recycle(&pool);
                             break;
                         };
-                        let prep = apply_transfer(&ctx, staged, slots);
+                        let mut prep = apply_transfer(&ctx, staged, slots);
+                        prep.quota_epoch = quota_epoch;
+                        // Count the item *before* committing it to the
+                        // channel: a consumer receiving it concurrently
+                        // must never observe its decrement before this
+                        // increment (underflow), and `shutdown_collect`
+                        // relies on the counter never under-reporting a
+                        // committed item.
+                        ready.fetch_add(1, Ordering::Release);
                         if let Err(rejected) = ready_tx.send(prep) {
+                            ready.fetch_sub(1, Ordering::Release);
                             rejected.0.recycle(&pool);
                             break;
                         }
@@ -741,27 +998,59 @@ impl Prefetcher {
             rx,
             stop,
             rings,
+            ready,
             handles: vec![gather_handle, transfer_handle],
         }
     }
 
     /// Blocking receive; `None` when the producer finished the epoch.
     fn recv(&self) -> Option<PreparedIteration> {
-        self.rx.recv().ok()
+        let prep = self.rx.recv().ok();
+        if prep.is_some() {
+            self.ready.fetch_sub(1, Ordering::AcqRel);
+        }
+        prep
     }
 
-    /// Stop the producer, recycling every buffered iteration and freeing
-    /// their staging slots.
-    fn shutdown(mut self, pool: &MatrixPool) {
+    /// Prepared iterations currently buffered in the consumer queue.
+    fn buffered(&self) -> usize {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Stop the producer, returning the contiguous run of fully-prepared
+    /// iterations that were buffered in the consumer queue (front
+    /// first) so the caller can salvage them. Partially-prepared work
+    /// (gather-stage buffers, an in-flight transfer) is recycled by the
+    /// producer threads themselves before they exit.
+    fn shutdown_collect(mut self) -> Vec<PreparedIteration> {
         self.stop.store(true, Ordering::Release);
         // Wake a transfer stage blocked on a full staging ring so it can
         // observe `stop` and bail out.
         self.rings.interrupt_all();
         // Drain whatever is buffered so a producer blocked on a full
-        // channel can complete its send, observe `stop`, and exit;
-        // recycling drops the slot tokens, freeing the rings.
-        while let Ok(prep) = self.rx.try_recv() {
-            prep.recycle(pool);
+        // channel can complete its send, observe `stop`, and exit. The
+        // collected items keep their buffers and staging slots. The
+        // `ready` counter is incremented before each send, so spin past
+        // the (microseconds-wide) window where an item is committed but
+        // not yet visible to `try_recv` — otherwise a race would
+        // silently flush a salvageable iteration. Termination: with
+        // `stop` raised the transfer stage sends at most the one item
+        // already counted, and if it dies the channel disconnects.
+        let mut collected = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok(prep) => {
+                    self.ready.fetch_sub(1, Ordering::AcqRel);
+                    collected.push(prep);
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    if self.ready.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
+            }
         }
         // Close the channel: any in-flight send now errors out (the
         // producer recycles the rejected iteration's buffers itself).
@@ -772,13 +1061,26 @@ impl Prefetcher {
             // it can proceed under the new quotas.
             let _ = h.join();
         }
+        collected
+    }
+
+    /// Stop the producer, recycling every buffered iteration and freeing
+    /// their staging slots.
+    fn shutdown(self, pool: &MatrixPool) {
+        for prep in self.shutdown_collect() {
+            prep.recycle(pool);
+        }
     }
 }
 
 /// The executor's iteration source: serial preparation at `depth = 0`,
-/// a background producer pipeline otherwise. Transparently restarts the
-/// producer (draining the queue *and* the staging rings) when the
-/// consumer's quotas change (DRM re-mapping).
+/// a background producer pipeline otherwise. When the consumer's quotas
+/// change (DRM re-mapping) the invalidation is *surgical*: queued
+/// iterations are re-sliced per trainer (`reslice_iteration`) so
+/// settled trainers keep their prepared batches, and only the staging
+/// rings of lanes whose share moved are drained. A zero-diff re-map is
+/// a no-op; only missed-event recovery (a stale batch actually reaching
+/// the consumer) still pays the full flush.
 pub struct IterationFeed {
     ctx: Arc<PrepareCtx>,
     order: Arc<Vec<u32>>,
@@ -787,7 +1089,19 @@ pub struct IterationFeed {
     depth: usize,
     pool: Arc<MatrixPool>,
     pipeline: Option<Prefetcher>,
+    /// Iterations salvaged across the last re-map, served before the
+    /// restarted producer's output (they cover the iterations just
+    /// after the re-map point).
+    salvaged: VecDeque<PreparedIteration>,
+    /// The quotas the live producer generation is slicing under.
+    quotas: Vec<usize>,
+    /// Re-map generation counter; stamped on every produced batch so
+    /// stragglers are rejected by a counter compare at receive time.
+    quota_epoch: u64,
     restarts: usize,
+    batches_salvaged: usize,
+    batches_flushed: usize,
+    invalidation_wall_s: f64,
 }
 
 impl IterationFeed {
@@ -811,25 +1125,41 @@ impl IterationFeed {
             depth,
             pool,
             pipeline: None,
+            salvaged: VecDeque::new(),
+            quotas: initial_quotas,
+            quota_epoch: 0,
             restarts: 0,
+            batches_salvaged: 0,
+            batches_flushed: 0,
+            invalidation_wall_s: 0.0,
         };
         if depth > 0 {
-            feed.pipeline = Some(feed.spawn_at(0, initial_quotas));
+            feed.pipeline = Some(feed.spawn_at(0));
         }
         feed
     }
 
-    fn spawn_at(&self, start_iter: usize, quotas: Vec<usize>) -> Prefetcher {
+    fn spawn_at(&self, start_iter: usize) -> Prefetcher {
         Prefetcher::spawn(
             Arc::clone(&self.ctx),
             Arc::clone(&self.order),
             self.epoch,
             start_iter,
             self.end_iter,
-            quotas,
+            self.quotas.clone(),
+            self.quota_epoch,
             self.depth,
             Arc::clone(&self.pool),
         )
+    }
+
+    /// Discard a prepared iteration: count its batches as flushed and
+    /// recycle its buffers/slots. The single accounting point behind
+    /// `salvage_stats` — every flush path (stale recovery, unsalvageable
+    /// re-slice, full restart) goes through here.
+    fn flush_item(&mut self, prep: PreparedIteration) {
+        self.batches_flushed += prep.batches.iter().flatten().count();
+        prep.recycle(&self.pool);
     }
 
     /// Obtain iteration `iter` prepared under exactly `quotas`.
@@ -838,14 +1168,34 @@ impl IterationFeed {
         if self.depth == 0 {
             return prepare_iteration(&self.ctx, &self.order, self.epoch, iter, quotas, &self.pool);
         }
+        // Salvaged survivors of the last re-map are served first.
+        if let Some(front) = self.salvaged.front() {
+            if front.iter == iter && front.quotas == quotas {
+                return self.salvaged.pop_front();
+            }
+            // The consumer asked for something the salvage doesn't
+            // cover (out-of-band re-map): flush the survivors and fall
+            // through to a full restart below.
+            while let Some(prep) = self.salvaged.pop_front() {
+                self.flush_item(prep);
+            }
+            self.restart(iter, quotas.to_vec());
+        }
         loop {
             let prep = self.pipeline.as_ref().expect("pipeline alive").recv();
             match prep {
-                Some(prep) if prep.iter == iter && prep.quotas == quotas => return Some(prep),
+                Some(prep)
+                    if prep.quota_epoch == self.quota_epoch
+                        && prep.iter == iter
+                        && prep.quotas == quotas =>
+                {
+                    return Some(prep)
+                }
                 Some(stale) => {
                     // Produced under an outdated plan (missed DRM event or
-                    // an out-of-band `set_mapping`): invalidate and redo.
-                    stale.recycle(&self.pool);
+                    // an out-of-band `set_mapping`): full flush and redo —
+                    // the `drain_all` path survives exactly for this.
+                    self.flush_item(stale);
                     self.restart(iter, quotas.to_vec());
                 }
                 None => return None,
@@ -853,15 +1203,73 @@ impl IterationFeed {
         }
     }
 
-    /// Proactively restart the producer at `next_iter` under new
-    /// `quotas` — called by the executor the moment a DRM `balance_work`
-    /// decision changes the split, before the change takes effect. The
-    /// prefetch queue *and* the staging rings are drained: staged
-    /// transfers were built under quotas that no longer exist.
+    /// Apply a DRM `balance_work` re-mapping: the producer will serve
+    /// iteration `next_iter` onward under `quotas`. Invalidation is
+    /// surgical:
+    ///
+    /// * a **zero-diff** re-map (quotas unchanged) is a complete no-op —
+    ///   no drain, no restart, nothing flushed;
+    /// * otherwise queued iterations are re-sliced per trainer: settled
+    ///   trainers keep their batches, buffers, and staging slots
+    ///   (`reslice_iteration`), and only the rings of *changed* lanes
+    ///   record a drain;
+    /// * the producer restarts after the salvaged run, under the new
+    ///   quotas and a bumped quota epoch (stragglers from the old
+    ///   generation are rejected at receive time by the epoch stamp).
     pub fn invalidate(&mut self, next_iter: usize, quotas: Vec<usize>) {
-        if self.depth > 0 {
-            self.restart(next_iter, quotas);
+        if quotas == self.quotas {
+            return; // zero-diff balance_work: nothing moved, nothing to pay
         }
+        let diff = QuotaDiff::between(&self.quotas, &quotas);
+        self.quotas = quotas;
+        if self.depth == 0 {
+            return; // serial feeds prepare inline: nothing is speculative
+        }
+        let t0 = Instant::now();
+        self.quota_epoch += 1;
+        // Stop the old generation, keeping its queued iterations, and
+        // fold in any survivors of a previous re-map still unserved.
+        let queued = match self.pipeline.take() {
+            Some(p) => p.shutdown_collect(),
+            None => Vec::new(),
+        };
+        let pending: Vec<PreparedIteration> = self.salvaged.drain(..).chain(queued).collect();
+        // Re-slice the contiguous run starting at `next_iter`; the
+        // first unsalvageable item (and everything after it) is flushed.
+        let mut expected = next_iter;
+        let mut broken = false;
+        for mut prep in pending {
+            if !broken && prep.iter == expected {
+                match reslice_iteration(
+                    &self.ctx,
+                    &self.order,
+                    self.epoch,
+                    &mut prep,
+                    &self.quotas,
+                    &self.pool,
+                ) {
+                    Some(out) => {
+                        self.batches_salvaged += out.salvaged;
+                        self.batches_flushed += out.flushed;
+                        prep.quota_epoch = self.quota_epoch;
+                        self.salvaged.push_back(prep);
+                        expected += 1;
+                        continue;
+                    }
+                    None => broken = true,
+                }
+            } else {
+                broken = true;
+            }
+            self.flush_item(prep);
+        }
+        // Only the lanes whose slice moved record the drain event.
+        self.ctx
+            .rings
+            .drain_lanes(&diff.changed_lanes(self.ctx.hybrid, self.ctx.rings.num_rings()));
+        self.restarts += 1;
+        self.pipeline = Some(self.spawn_at(expected));
+        self.invalidation_wall_s += t0.elapsed().as_secs_f64();
     }
 
     /// Apply a DRM `balance_thread` re-allocation: re-size the shared
@@ -888,15 +1296,24 @@ impl IterationFeed {
         &self.ctx.rings
     }
 
+    /// Full flush and restart — the `set_mapping`-style re-map: every
+    /// queued batch is discarded and **every** ring records a drain.
+    /// Reached only from the missed-event recovery path in
+    /// [`obtain`](Self::obtain); ordinary `balance_work` moves go
+    /// through the surgical [`invalidate`](Self::invalidate).
     fn restart(&mut self, start_iter: usize, quotas: Vec<usize>) {
+        self.quotas = quotas;
+        self.quota_epoch += 1;
         if let Some(p) = self.pipeline.take() {
-            p.shutdown(&self.pool);
+            for prep in p.shutdown_collect() {
+                self.flush_item(prep);
+            }
         }
         // Count the drain on every ring: the staged wire transfers died
         // with the producer generation that prepared them.
         self.ctx.rings.drain_all();
         self.restarts += 1;
-        self.pipeline = Some(self.spawn_at(start_iter, quotas));
+        self.pipeline = Some(self.spawn_at(start_iter));
     }
 
     /// Number of producer restarts this epoch (DRM invalidations).
@@ -904,8 +1321,32 @@ impl IterationFeed {
         self.restarts
     }
 
+    /// Cumulative `(salvaged, flushed)` per-trainer batch counts across
+    /// this epoch's re-mapping events: `salvaged` batches survived a
+    /// `balance_work` move untouched, `flushed` were discarded (and,
+    /// for still-active trainers, redone). Zero-diff re-maps contribute
+    /// to neither.
+    pub fn salvage_stats(&self) -> (usize, usize) {
+        (self.batches_salvaged, self.batches_flushed)
+    }
+
+    /// Wall-clock seconds this feed has spent inside re-mapping events
+    /// (producer shutdown + per-trainer re-slice + restart).
+    pub fn invalidation_wall_s(&self) -> f64 {
+        self.invalidation_wall_s
+    }
+
+    /// Fully-prepared iterations currently buffered ahead of the
+    /// consumer (salvaged survivors plus the producer queue).
+    pub fn buffered(&self) -> usize {
+        self.salvaged.len() + self.pipeline.as_ref().map_or(0, Prefetcher::buffered)
+    }
+
     /// Tear down the producer, recycling buffered iterations.
     pub fn finish(mut self) {
+        for prep in self.salvaged.drain(..) {
+            prep.recycle(&self.pool);
+        }
         if let Some(p) = self.pipeline.take() {
             p.shutdown(&self.pool);
         }
@@ -1155,7 +1596,7 @@ mod tests {
     }
 
     #[test]
-    fn feed_restarts_on_quota_change_and_drains_rings() {
+    fn feed_restarts_on_quota_change_and_drains_changed_lanes() {
         let (ctx, order) = ctx();
         let pool = Arc::new(MatrixPool::new());
         let quotas = vec![8usize, 8, 8];
@@ -1171,13 +1612,20 @@ mod tests {
         let first = feed.obtain(0, &quotas).expect("first iteration");
         first.recycle(&pool);
         assert_eq!(feed.rings().drains_total(), 0);
-        // consumer re-balances: 4 seeds move from trainer 1 to trainer 0
+        // consumer re-balances: 4 seeds move from trainer 1 (lane 0) to
+        // trainer 0 (the CPU). Lane 1's slice is untouched — surgical
+        // invalidation drains only lane 0's ring.
         let new_quotas = vec![12usize, 4, 8];
         feed.invalidate(1, new_quotas.clone());
         assert_eq!(
-            feed.rings().drains_total(),
-            feed.rings().num_rings(),
-            "balance_work must drain every staging ring"
+            feed.rings().ring(0).drains(),
+            1,
+            "the changed lane must record the drain"
+        );
+        assert_eq!(
+            feed.rings().ring(1).drains(),
+            0,
+            "an untouched lane must not be drained"
         );
         let second = feed.obtain(1, &new_quotas).expect("post-remap iteration");
         assert_eq!(second.quotas, new_quotas);
@@ -1197,5 +1645,104 @@ mod tests {
         reference.recycle(&pool);
         feed.finish();
         assert_eq!(ctx.rings.in_flight_total(), 0, "slots leaked after finish");
+    }
+
+    #[test]
+    fn zero_diff_invalidate_is_a_noop() {
+        let (ctx, order) = ctx();
+        let pool = Arc::new(MatrixPool::new());
+        let quotas = vec![8usize, 8, 8];
+        let mut feed = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            2,
+            Arc::clone(&pool),
+            quotas.clone(),
+        );
+        let first = feed.obtain(0, &quotas).expect("first iteration");
+        first.recycle(&pool);
+        // a balance_work whose quotas equal the old ones must cost nothing
+        feed.invalidate(1, quotas.clone());
+        assert_eq!(feed.restarts(), 0, "zero-diff re-map restarted producer");
+        assert_eq!(feed.rings().drains_total(), 0, "zero-diff re-map drained");
+        assert_eq!(feed.salvage_stats(), (0, 0), "zero-diff re-map flushed");
+        let second = feed.obtain(1, &quotas).expect("second iteration");
+        assert_eq!(second.iter, 1);
+        second.recycle(&pool);
+        feed.finish();
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let rings = Arc::new(StagingRings::new(1, 1));
+        let t0 = rings.try_acquire_token(0).expect("free slot");
+        assert!(
+            rings.try_acquire_token(0).is_none(),
+            "full ring must refuse"
+        );
+        drop(t0);
+        assert!(rings.try_acquire_token(0).is_some());
+    }
+
+    #[test]
+    fn reslice_salvages_settled_trainers_bitwise() {
+        // 3 trainers (CPU + 2 lanes): move 4 seeds from lane 0 to the
+        // CPU while lane 1's slice stays put — the salvage must keep
+        // lane 1's batch verbatim and rebuild only the movers.
+        let (ctx, order) = ctx();
+        let pool = MatrixPool::new();
+        let old_quotas = [8usize, 8, 8];
+        let new_quotas = [12usize, 4, 8];
+        let mut prep = prepare_iteration(&ctx, &order, 0, 1, &old_quotas, &pool).unwrap();
+        let lane1_before = prep.features[2].as_ref().unwrap().as_slice().to_vec();
+        let out =
+            reslice_iteration(&ctx, &order, 0, &mut prep, &new_quotas, &pool).expect("salvage");
+        assert_eq!(out.salvaged, 1, "lane 1's batch survives");
+        assert_eq!(out.flushed, 2, "CPU + lane 0 are re-sliced");
+        // bitwise-identical to a from-scratch preparation under the new
+        // quotas — including the untouched trainer
+        let reference = prepare_iteration(&ctx, &order, 0, 1, &new_quotas, &pool).unwrap();
+        assert_eq!(prep.seed_sets, reference.seed_sets);
+        assert_eq!(prep.quotas, reference.quotas);
+        for (t, (x, y)) in prep.features.iter().zip(&reference.features).enumerate() {
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(x.as_slice(), y.as_slice(), "trainer {t}"),
+                (None, None) => {}
+                _ => panic!("feature presence diverged at trainer {t}"),
+            }
+        }
+        assert_eq!(
+            prep.features[2].as_ref().unwrap().as_slice(),
+            lane1_before.as_slice(),
+            "salvaged buffer was rewritten"
+        );
+        for (a, b) in prep.batches.iter().zip(&reference.batches) {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.seeds, b.seeds);
+                    assert_eq!(a.input_nodes, b.input_nodes);
+                }
+                (None, None) => {}
+                _ => panic!("batch presence diverged"),
+            }
+        }
+        prep.recycle(&pool);
+        reference.recycle(&pool);
+    }
+
+    #[test]
+    fn reslice_rejects_exhausted_iterations() {
+        let (ctx, order) = ctx();
+        let pool = MatrixPool::new();
+        let n = order.len();
+        let old_quotas = [8usize, 8, 8];
+        let mut prep = prepare_iteration(&ctx, &order, 0, 0, &old_quotas, &pool).unwrap();
+        // under huge quotas iteration 0 still exists but this salvage
+        // targets an iteration past the epoch's end
+        prep.iter = n; // beyond any plan
+        assert!(reslice_iteration(&ctx, &order, 0, &mut prep, &old_quotas, &pool).is_none());
+        prep.recycle(&pool);
     }
 }

@@ -37,6 +37,21 @@ pub struct WallStageTimes {
     pub train_s: f64,
     /// End-to-end iteration wall-clock on the consumer thread.
     pub iter_s: f64,
+    /// Per-trainer batches that survived this iteration's DRM
+    /// re-mapping events untouched (their trainer's seed slice did not
+    /// move): queued batch, pooled matrix, and staging slot all kept.
+    /// Counters, not times — [`mean_of`](Self::mean_of) *sums* them, so
+    /// an epoch summary carries epoch totals.
+    pub batches_salvaged: usize,
+    /// Per-trainer batches discarded (and, for still-active trainers,
+    /// redone) by this iteration's re-mapping events. Summed like
+    /// [`batches_salvaged`](Self::batches_salvaged) in `mean_of`.
+    pub batches_flushed: usize,
+    /// Wall-clock seconds spent inside DRM invalidation (producer
+    /// shutdown + per-trainer re-slice + restart) this iteration.
+    /// Summed, not averaged, by `mean_of` — the epoch summary is the
+    /// total invalidation tax.
+    pub invalidation_s: f64,
     /// The worker-pool widths the producer prepared this iteration
     /// under — the [`ThreadAlloc`] actually observed by the dispatches
     /// behind `sample_s`/`load_s`/`transfer_s`. A DRM `balance_thread`
@@ -85,6 +100,11 @@ impl WallStageTimes {
             acc.transfer_hidden_s += t.transfer_hidden_s;
             acc.train_s += t.train_s;
             acc.iter_s += t.iter_s;
+            // salvage accounting accumulates: epoch summaries carry the
+            // totals, not per-iteration means
+            acc.batches_salvaged += t.batches_salvaged;
+            acc.batches_flushed += t.batches_flushed;
+            acc.invalidation_s += t.invalidation_s;
             // widths don't average meaningfully: keep the settled
             // (last-observed) allocation
             acc.threads = t.threads;
@@ -226,6 +246,9 @@ mod tests {
             transfer_hidden_s: 0.0,
             train_s: 6.0,
             iter_s: 9.0,
+            batches_salvaged: 3,
+            batches_flushed: 1,
+            invalidation_s: 0.25,
             threads: ThreadAlloc {
                 sampler: 2,
                 loader: 3,
@@ -236,6 +259,10 @@ mod tests {
         assert_eq!(m.sample_s, 2.0);
         assert_eq!(m.train_s, 5.0);
         assert_eq!(m.transfer_hidden_s, 0.0);
+        // counters and invalidation tax are totals, not means
+        assert_eq!(m.batches_salvaged, 3);
+        assert_eq!(m.batches_flushed, 1);
+        assert_eq!(m.invalidation_s, 0.25);
         // widths keep the settled (last-observed) allocation
         assert_eq!(m.threads, b.threads);
         assert_eq!(m.iter_s, 7.0);

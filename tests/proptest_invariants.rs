@@ -1,7 +1,12 @@
-//! Property-based tests over the core data structures and kernels.
+//! Property-based tests over the core data structures and kernels,
+//! plus the randomized DRM-schedule equivalence harness: arbitrary
+//! interleavings of `balance_work` / `balance_thread` / no-op events
+//! must leave prefetched training bitwise-identical to serial.
 
-use hyscale::core::drm::{DrmEngine, ThreadAlloc, WorkloadSplit};
+use hyscale::core::drm::{DrmEngine, ScriptedDrm, ScriptedDrmEvent, ThreadAlloc, WorkloadSplit};
+use hyscale::core::stages::Stage;
 use hyscale::core::StageTimes;
+use hyscale::core::{AcceleratorKind, HybridTrainer, OptFlags, SystemConfig};
 use hyscale::gnn::aggregate::{
     aggregate_gcn, aggregate_gcn_backward, aggregate_mean, aggregate_mean_backward, GcnCoefficients,
 };
@@ -241,6 +246,34 @@ proptest! {
         prop_assert_eq!(g.targets(), g2.targets());
     }
 
+    /// Surgical invalidation preserves the quota-sum invariant the
+    /// salvage logic keys on: for random splits and random
+    /// `balance_work` deltas, the per-trainer quota diff marks a
+    /// trainer changed exactly when its slice `(prefix, len)` moved.
+    #[test]
+    fn quota_diff_matches_slice_comparison(
+        cpu in 0usize..512,
+        total_extra in 4usize..2048,
+        accels in 1usize..6,
+        delta in 0usize..600,
+        to_cpu in 0u8..2,
+    ) {
+        use hyscale::core::drm::QuotaDiff;
+        let total = cpu + total_extra.max(accels);
+        let mut split = WorkloadSplit::new(cpu.min(total), total, accels);
+        let old = split.quotas();
+        if to_cpu == 1 { split.shift_to_cpu(delta); } else { split.shift_to_accel(delta); }
+        let new = split.quotas();
+        let diff = QuotaDiff::between(&old, &new);
+        // reference: slice-by-slice comparison
+        let prefix = |q: &[usize], t: usize| q[..t].iter().sum::<usize>();
+        for t in 0..new.len() {
+            let moved = prefix(&old, t) != prefix(&new, t) || old[t] != new[t];
+            prop_assert_eq!(diff.trainer_changed(t), moved, "trainer {}", t);
+        }
+        prop_assert_eq!(diff.is_noop(), old == new);
+    }
+
     /// Any sequence of DRM decisions conserves the seed total, the
     /// thread budget, and the sampling-share range.
     #[test]
@@ -266,6 +299,93 @@ proptest! {
             prop_assert_eq!(threads.total(), budget);
             prop_assert!(split.sampling_on_accel >= 0.0 && split.sampling_on_accel <= 1.0);
             prop_assert!(threads.sampler >= 1 && threads.loader >= 1 && threads.trainer >= 1);
+        }
+    }
+}
+
+/// Train two epochs of a small hybrid configuration under a scripted
+/// DRM schedule, returning the flattened weights and per-epoch losses.
+/// Every run of this function with the same `(depth, ring_depth)` and
+/// schedule must agree bitwise; runs with *different* depths must agree
+/// too — that is the property under test.
+fn run_scheduled(
+    depth: usize,
+    ring_depth: usize,
+    schedule: &[ScriptedDrmEvent],
+) -> (Vec<f32>, Vec<f32>) {
+    let ds = hyscale::graph::Dataset::toy(41);
+    let mut cfg = SystemConfig::paper_default(AcceleratorKind::u250(), hyscale::gnn::GnnKind::Gcn);
+    cfg.platform.num_accelerators = 2;
+    cfg.opt = OptFlags {
+        hybrid: true,
+        drm: false, // the script is the only source of re-mapping
+        tfp: true,
+    };
+    cfg.train.batch_per_trainer = 32;
+    cfg.train.fanouts = vec![4, 3];
+    cfg.train.hidden_dim = 8;
+    cfg.train.max_functional_iters = Some(6);
+    cfg.train.prefetch_depth = depth;
+    cfg.train.staging_ring_depth = ring_depth;
+    let mut t = HybridTrainer::new(cfg, ds);
+    t.set_mapping(WorkloadSplit::new(32, 96, 2), ThreadAlloc::default_for(16));
+    t.set_drm_schedule(schedule.to_vec());
+    let reports = t.train_epochs(2);
+    let losses = reports.iter().map(|r| r.loss).collect();
+    (t.model().flatten_params(), losses)
+}
+
+proptest! {
+    // Smoke-sized by default; the CI matrix deepens it with
+    // PROPTEST_CASES=64 on main pushes.
+    #![proptest_config(ProptestConfig::env_or(6))]
+
+    /// The randomized DRM-schedule equivalence harness: a random
+    /// interleaving of `balance_work` (random deltas, including
+    /// explicit zero-diff moves), `balance_thread`, and no-op events at
+    /// random iterations must train bitwise-identical weights and
+    /// losses to serial execution for every prefetch depth {1, 2, 4} ×
+    /// staging-ring depth {1, 2}. This is what licenses the surgical
+    /// invalidator to salvage queued batches instead of flushing them.
+    #[test]
+    fn random_drm_schedules_are_bitwise_equivalent(
+        raw in prop::collection::vec(
+            // (epoch, iter, kind, delta, from, to)
+            (0u64..2, 0usize..6, 0u8..4, 0usize..80, 0u8..3, 0u8..3),
+            0..8,
+        ),
+    ) {
+        const STAGES: [Stage; 3] = [Stage::SampleCpu, Stage::Load, Stage::TrainCpu];
+        let schedule: Vec<ScriptedDrmEvent> = raw
+            .iter()
+            .map(|&(epoch, iter, kind, delta, from, to)| {
+                let action = match kind {
+                    // random-magnitude work shift in either direction
+                    // (the split clamps it, so some land as zero-diff)
+                    0 => ScriptedDrm::BalanceWork { to_cpu: delta as isize - 40 },
+                    // explicit zero-delta balance_work: must be a no-op
+                    1 => ScriptedDrm::BalanceWork { to_cpu: 0 },
+                    2 => ScriptedDrm::BalanceThread { from: STAGES[from as usize], to: STAGES[to as usize] },
+                    _ => ScriptedDrm::Noop,
+                };
+                ScriptedDrmEvent { epoch, iter, action }
+            })
+            .collect();
+        let (serial_params, serial_losses) = run_scheduled(0, 2, &schedule);
+        for ring_depth in [1usize, 2] {
+            for depth in [1usize, 2, 4] {
+                let (params, losses) = run_scheduled(depth, ring_depth, &schedule);
+                prop_assert_eq!(
+                    &serial_params, &params,
+                    "depth {} ring {} diverged from serial under {:?}",
+                    depth, ring_depth, schedule
+                );
+                prop_assert_eq!(
+                    &serial_losses, &losses,
+                    "depth {} ring {} changed the loss trajectory under {:?}",
+                    depth, ring_depth, schedule
+                );
+            }
         }
     }
 }

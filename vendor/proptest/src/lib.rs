@@ -143,11 +143,26 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// Configuration whose case count comes from the `PROPTEST_CASES`
+    /// environment variable, falling back to `default_cases` when it is
+    /// unset or unparsable — mirroring real proptest's env override so
+    /// CI matrices can run the same suite at smoke (`PROPTEST_CASES=8`)
+    /// and deep (`PROPTEST_CASES=64`) intensities without a rebuild.
+    pub fn env_or(default_cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases);
+        Self { cases }
+    }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 32 }
+        // real proptest defaults to 256 but reads PROPTEST_CASES; the
+        // shim keeps its lighter 32 as the fallback
+        Self::env_or(32)
     }
 }
 
@@ -255,5 +270,16 @@ mod tests {
     fn seeds_differ_by_name() {
         assert_ne!(super::seed_for("a"), super::seed_for("b"));
         assert_eq!(super::seed_for("x"), super::seed_for("x"));
+    }
+
+    #[test]
+    fn env_or_honors_proptest_cases() {
+        // under `PROPTEST_CASES=n` both the explicit env config and the
+        // default must pick n up; otherwise they fall back
+        let expect = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        assert_eq!(ProptestConfig::env_or(7).cases, expect.unwrap_or(7));
+        assert_eq!(ProptestConfig::default().cases, expect.unwrap_or(32));
     }
 }
