@@ -26,6 +26,7 @@ fn config() -> SystemConfig {
             transfer_precision: hyscale_tensor::Precision::F32,
             prefetch_depth: 0,
             staging_ring_depth: 2,
+            transfer_lanes: 0,
         },
     }
 }

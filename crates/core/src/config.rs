@@ -233,6 +233,19 @@ pub struct TrainConfig {
     /// Bitwise-neutral like `prefetch_depth`: ring depth changes
     /// wall-clock only (enforced by `tests/equivalence.rs`).
     pub staging_ring_depth: usize,
+    /// Concurrent transfer-lane cap for the producer's per-accelerator
+    /// transfer stage. Each accelerator owns a dedicated transfer lane
+    /// (its staging ring plus a bounded lane channel fed by the gather
+    /// stage); this cap bounds how many of those lanes may run their
+    /// wire-precision round-trips *concurrently*, WorkerGroup-style
+    /// (the effective concurrency is further capped by the host's real
+    /// parallelism). `0` means "follow the DRM's loader thread budget":
+    /// a `balance_thread` move then re-sizes the live lane concurrency
+    /// in place — no queue or ring drain, exactly like pool widths.
+    /// Bitwise-neutral like `prefetch_depth` and `staging_ring_depth`:
+    /// lane concurrency changes wall-clock only (enforced by the
+    /// multi-lane matrix in `tests/proptest_invariants.rs`).
+    pub transfer_lanes: usize,
 }
 
 impl TrainConfig {
@@ -250,6 +263,7 @@ impl TrainConfig {
             transfer_precision: Precision::F32,
             prefetch_depth: 2,
             staging_ring_depth: 2,
+            transfer_lanes: 0,
         }
     }
 

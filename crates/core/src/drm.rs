@@ -365,13 +365,50 @@ impl DrmEngine {
 
     /// One Algorithm 1 decision: inspect `times`, mutate `split` /
     /// `threads` for the next iteration, and report the action taken.
+    ///
+    /// Uses the paper's bundled `T_Accel = max(T_Tran, T_TA)` — the
+    /// perfect-overlap assumption. When the pipeline *measures* (or
+    /// models) how much wire time the staging rings actually hid, use
+    /// [`adjust_with_visible`](Self::adjust_with_visible) instead.
     pub fn adjust(
         &self,
         times: &StageTimes,
         split: &mut WorkloadSplit,
         threads: &mut ThreadAlloc,
     ) -> DrmAction {
-        let tasks = times.drm_tasks();
+        self.adjust_with_visible(
+            times,
+            (times.transfer - times.train_accel).max(0.0),
+            split,
+            threads,
+        )
+    }
+
+    /// Overlap-aware Algorithm 1 decision: like [`adjust`](Self::adjust)
+    /// but the bundled accelerator task is charged
+    /// `T_TA + visible_transfer` ([`StageTimes::accel_with_visible`])
+    /// instead of `max(T_Tran, T_TA)`. `visible_transfer` is the
+    /// un-hidden share of the wire time — full `T_Tran` at staging-ring
+    /// depth 1 (nothing can hide), `(T_Tran - T_TA)⁺` under
+    /// double-buffered rings (reproducing `adjust` exactly), or the
+    /// measured `transfer_s - transfer_hidden_s` from a live
+    /// [`WallStageTimes`](crate::report::WallStageTimes). A
+    /// bandwidth-bound lane (ring depth 1, fat batches) thus inflates
+    /// the accelerator task and biases `balance_work` toward moving
+    /// seeds off the starved links.
+    pub fn adjust_with_visible(
+        &self,
+        times: &StageTimes,
+        visible_transfer: f64,
+        split: &mut WorkloadSplit,
+        threads: &mut ThreadAlloc,
+    ) -> DrmAction {
+        let accel_time = times.accel_with_visible(visible_transfer);
+        let tasks = {
+            let mut t = times.drm_tasks();
+            t[4].1 = accel_time;
+            t
+        };
         let bottleneck = tasks
             .iter()
             .copied()
@@ -463,9 +500,9 @@ impl DrmEngine {
             Stage::TrainCpu => {
                 let accel_trainer_fast = fastest.0 == Stage::Accel
                     || (fastest.0 == Stage::SampleAccel && second.0 == Stage::Accel)
-                    || gap_factor(times.accel()) >= 0.3;
+                    || gap_factor(accel_time) >= 0.3;
                 let shift = |split: &mut WorkloadSplit| {
-                    let moved = split.shift_to_accel(step(times.accel()));
+                    let moved = split.shift_to_accel(step(accel_time));
                     if moved == 0 {
                         DrmAction::None
                     } else {
@@ -480,7 +517,7 @@ impl DrmEngine {
                     match self.steal_thread(times, threads, Stage::TrainCpu) {
                         // donors exhausted: move work to the accelerators
                         // even though they are not the fastest task
-                        DrmAction::None if gap_factor(times.accel()) >= 0.05 => shift(split),
+                        DrmAction::None if gap_factor(accel_time) >= 0.05 => shift(split),
                         other => other,
                     }
                 }
@@ -562,6 +599,74 @@ mod tests {
         let action = engine.adjust(&t, &mut s, &mut th);
         assert!(matches!(action, DrmAction::BalanceWork { to_cpu } if to_cpu > 0));
         assert!(s.cpu_quota > 1024);
+    }
+
+    #[test]
+    fn overlap_aware_visible_transfer_biases_work_off_the_wire() {
+        // Transfer 1.8s, accelerator compute 0.5s, CPU trainer 1.2s.
+        // Bundled view: T_Accel = 1.8 > T_TC = 1.2 -> move seeds to CPU.
+        // With the wire fully hidden (visible 0), T_Accel = 0.5 < T_TC
+        // -> the *CPU* becomes the bottleneck and seeds move the other
+        // way. The visible transfer time flips the decision.
+        let engine = DrmEngine::new(true);
+        let t = times(0.1, 0.1, 0.2, 1.2, 1.8, 0.5);
+
+        let mut bundled = split();
+        let mut th = ThreadAlloc::default_for(64);
+        let a = engine.adjust(&t, &mut bundled, &mut th);
+        assert!(
+            matches!(a, DrmAction::BalanceWork { to_cpu } if to_cpu > 0),
+            "bundled max(T_Tran, T_TA) must see the accel task as bottleneck: {a:?}"
+        );
+
+        let mut hidden = split();
+        let mut th2 = ThreadAlloc::default_for(64);
+        let b = engine.adjust_with_visible(&t, 0.0, &mut hidden, &mut th2);
+        assert!(
+            matches!(b, DrmAction::BalanceWork { to_cpu } if to_cpu < 0),
+            "a fully-hidden wire must expose the CPU trainer as bottleneck: {b:?}"
+        );
+
+        // ring-depth-1 pessimism: the whole wire is visible, so the
+        // accel task is charged compute + transfer and sheds even more
+        // work toward the CPU than the bundled estimate.
+        let mut ring1 = split();
+        let mut th3 = ThreadAlloc::default_for(64);
+        let c = engine.adjust_with_visible(&t, t.transfer, &mut ring1, &mut th3);
+        assert!(matches!(c, DrmAction::BalanceWork { to_cpu } if to_cpu > 0));
+        assert!(
+            ring1.cpu_quota >= bundled.cpu_quota,
+            "full visibility must bias at least as hard as the bundle: \
+             {} vs {}",
+            ring1.cpu_quota,
+            bundled.cpu_quota
+        );
+    }
+
+    #[test]
+    fn adjust_equals_adjust_with_double_buffered_visible() {
+        // adjust() is exactly adjust_with_visible at the perfect-overlap
+        // share (T_Tran - T_TA)+ — for several profiles.
+        let engine = DrmEngine::new(true);
+        for t in [
+            times(0.1, 0.1, 0.2, 0.3, 0.5, 2.0),
+            times(0.5, 0.4, 0.6, 3.0, 0.05, 0.1),
+            times(3.0, 0.01, 0.5, 0.6, 0.4, 0.4),
+            times(0.05, 0.2, 3.0, 1.0, 0.5, 0.5),
+        ] {
+            let (mut s1, mut s2) = (split(), split());
+            let (mut th1, mut th2) = (ThreadAlloc::default_for(64), ThreadAlloc::default_for(64));
+            let a = engine.adjust(&t, &mut s1, &mut th1);
+            let b = engine.adjust_with_visible(
+                &t,
+                (t.transfer - t.train_accel).max(0.0),
+                &mut s2,
+                &mut th2,
+            );
+            assert_eq!(a, b);
+            assert_eq!(s1, s2);
+            assert_eq!(th1, th2);
+        }
     }
 
     #[test]

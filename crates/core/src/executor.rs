@@ -33,7 +33,9 @@
 use crate::config::SystemConfig;
 use crate::drm::{DrmAction, DrmEngine, ScriptedDrm, ScriptedDrmEvent, ThreadAlloc, WorkloadSplit};
 use crate::perf_model::{compute_stage_times, PerfModel, StageInputs};
-use crate::prefetch::{IterationFeed, MatrixPool, PrepareCtx, PreparedIteration, StagingRings};
+use crate::prefetch::{
+    IterationFeed, MatrixPool, PrepareCtx, PreparedIteration, StagingRings, TransferLaneGate,
+};
 use crate::protocol::TrainingRound;
 use crate::report::{EpochReport, IterationReport, WallStageTimes};
 use crate::stages::StageWorkers;
@@ -63,6 +65,7 @@ pub struct HybridTrainer {
     sync: Synchronizer,
     pool: Arc<MatrixPool>,
     rings: Arc<StagingRings>,
+    transfer_gate: Arc<TransferLaneGate>,
     next_epoch: u64,
     /// Scripted DRM moves applied after their `(epoch, iter)` slot —
     /// the deterministic injection point the randomized DRM-schedule
@@ -90,6 +93,18 @@ impl HybridTrainer {
             cfg.platform.num_accelerators,
             cfg.train.staging_ring_depth,
         ));
+        // Transfer-lane concurrency: an explicit cap pins it; 0 follows
+        // the DRM's loader budget so balance_thread moves re-size the
+        // live lane concurrency in place.
+        let follow = cfg.train.transfer_lanes == 0;
+        let transfer_gate = Arc::new(TransferLaneGate::new(
+            if follow {
+                threads.loader
+            } else {
+                cfg.train.transfer_lanes
+            },
+            follow,
+        ));
         Self {
             cfg,
             dataset: Arc::new(dataset),
@@ -105,6 +120,7 @@ impl HybridTrainer {
             sync: Synchronizer::new(),
             pool: Arc::new(MatrixPool::new()),
             rings,
+            transfer_gate,
             next_epoch: 0,
             drm_schedule: Vec::new(),
         }
@@ -146,6 +162,7 @@ impl HybridTrainer {
         self.split = split;
         self.threads = threads;
         self.workers.apply(&self.threads);
+        self.transfer_gate.on_thread_alloc(&self.threads);
     }
 
     /// The live CPU worker pools (sampler / loader / trainer) the real
@@ -154,11 +171,18 @@ impl HybridTrainer {
         &self.workers
     }
 
-    /// The per-accelerator staging rings the producer's transfer stage
-    /// double-buffers through (`TrainConfig::staging_ring_depth` slots
+    /// The per-accelerator staging rings the producer's transfer lanes
+    /// double-buffer through (`TrainConfig::staging_ring_depth` slots
     /// each).
     pub fn rings(&self) -> &StagingRings {
         &self.rings
+    }
+
+    /// The live transfer-lane concurrency gate
+    /// (`TrainConfig::transfer_lanes`; in auto mode `balance_thread`
+    /// moves re-size it).
+    pub fn transfer_gate(&self) -> &TransferLaneGate {
+        &self.transfer_gate
     }
 
     /// The replicated model (read access for evaluation).
@@ -191,6 +215,7 @@ impl HybridTrainer {
         self.split = split;
         self.threads = ckpt.thread_alloc();
         self.workers.apply(&self.threads);
+        self.transfer_gate.on_thread_alloc(&self.threads);
         self.next_epoch = ckpt.epoch;
     }
 
@@ -281,6 +306,7 @@ impl HybridTrainer {
             workers: Arc::clone(&self.workers),
             numa_domains: self.cfg.platform.numa_domains(),
             rings: Arc::clone(&self.rings),
+            transfer_gate: Arc::clone(&self.transfer_gate),
             origin,
         });
         let mut feed = IterationFeed::new(
@@ -324,6 +350,9 @@ impl HybridTrainer {
                 load_wall_s,
                 transfer_wall_s,
                 transfer_span,
+                lane_transfer_walls,
+                lane_transfer_spans,
+                transfer_lanes,
                 slots,
                 threads: observed_threads,
                 ..
@@ -415,18 +444,30 @@ impl HybridTrainer {
             let train_wall_s = train_wall.elapsed().as_secs_f64();
             let train_window_end = origin.elapsed().as_secs_f64();
 
-            // How much of this batch's wire round-trip ran while we were
+            // How much of each lane's wire round-trip ran while we were
             // inside the propagation of an earlier batch — the transfer
-            // time the staging ring hid. Serial execution transfers
-            // inline between propagations, so this is naturally zero.
-            // Transfer spans are stamped in iteration order, so a window
-            // that ended before this span began can never overlap a
-            // later span either — pruning keeps the scan O(in-flight),
-            // not O(epoch).
+            // time that lane's staging ring hid. Serial execution
+            // transfers inline between propagations, so this is
+            // naturally zero. Transfer spans are stamped in iteration
+            // order, so a window that ended before the union span began
+            // can never overlap a later span either — pruning keeps the
+            // scan O(in-flight), not O(epoch).
             train_windows.retain(|&(_, e)| e > transfer_span.0);
-            let transfer_hidden_s = train_windows
+            let lane_transfer_hidden_s: Vec<f64> = lane_transfer_spans
                 .iter()
-                .map(|&(s, e)| (transfer_span.1.min(e) - transfer_span.0.max(s)).max(0.0))
+                .zip(&lane_transfer_walls)
+                .map(|(span, &wall)| {
+                    span.map_or(0.0, |(s0, s1)| {
+                        train_windows
+                            .iter()
+                            .map(|&(s, e)| (s1.min(e) - s0.max(s)).max(0.0))
+                            .sum::<f64>()
+                            .min(wall)
+                    })
+                })
+                .collect();
+            let transfer_hidden_s = lane_transfer_hidden_s
+                .iter()
                 .sum::<f64>()
                 .min(transfer_wall_s);
             train_windows.push((train_window_start, train_window_end));
@@ -476,8 +517,30 @@ impl HybridTrainer {
             let mteps = edges as f64 / iter_time / 1e6;
 
             // --- DRM fine-tuning for the next iteration ---
+            // Overlap-aware accelerator estimate: how much wire time is
+            // *visible* on the accelerator's critical path. Derived from
+            // the pipeline configuration, not from measured walls — DRM
+            // decisions must stay bitwise-identical across prefetch
+            // depths and host core counts (the equivalence harness
+            // compares trajectories), so the estimate may depend only on
+            // the simulated times and the configured overlap machinery:
+            // no TFP or a single staging slot can hide nothing (the
+            // whole transfer rides the critical path, biasing
+            // balance_work away from bandwidth-bound lanes); ring depth
+            // ≥ 2 hides the wire behind accelerator compute, leaving
+            // only the excess — Algorithm 1's max(T_Tran, T_TA) bundle.
+            let visible_transfer = if !self.cfg.opt.tfp || self.cfg.train.staging_ring_depth <= 1 {
+                times.transfer
+            } else {
+                (times.transfer - times.train_accel).max(0.0)
+            };
             let action = if self.cfg.opt.drm {
-                self.drm.adjust(&times, &mut self.split, &mut self.threads)
+                self.drm.adjust_with_visible(
+                    &times,
+                    visible_transfer,
+                    &mut self.split,
+                    &mut self.threads,
+                )
             } else {
                 DrmAction::None
             };
@@ -536,6 +599,9 @@ impl HybridTrainer {
                     load_s: load_wall_s,
                     transfer_s: transfer_wall_s,
                     transfer_hidden_s,
+                    transfer_lanes,
+                    lane_transfer_s: lane_transfer_walls,
+                    lane_transfer_hidden_s,
                     train_s: train_wall_s,
                     iter_s: iter_wall.elapsed().as_secs_f64(),
                     batches_salvaged: salvaged - salvaged0,
@@ -618,6 +684,7 @@ mod tests {
                 transfer_precision: hyscale_tensor::Precision::F32,
                 prefetch_depth: 0,
                 staging_ring_depth: 2,
+                transfer_lanes: 0,
             },
         }
     }

@@ -82,13 +82,8 @@ pub fn compute_stage_times(
 
     // --- Data Transfer (T_Tran, Eq. 8): per-accelerator links run in
     // parallel; the stage time is the slowest single link ---
-    let transfer = inputs
-        .accel_stats
-        .iter()
-        .map(|s| {
-            let bytes = inputs.precision.wire_bytes(s.input_nodes, f0) + s.total_edges() * 8;
-            platform.pcie.transfer_time(bytes)
-        })
+    let transfer = per_lane_transfer_times(platform, inputs)
+        .into_iter()
         .fold(0.0f64, f64::max);
 
     // --- GNN Propagation (Eq. 9–12) ---
@@ -137,6 +132,25 @@ pub fn compute_stage_times(
         train_accel,
         sync,
     }
+}
+
+/// Per-accelerator wire-transfer times for one iteration (Eq. 8, one
+/// entry per attached link). Eq. 8's stage time is the max over these
+/// — valid only when the links actually run in parallel; a single
+/// transfer thread serving every link round-robin pays the *sum*
+/// instead. These per-lane times are the inputs to
+/// [`crate::pipeline::simulate_pipeline_multilane`], which models that
+/// difference explicitly.
+pub fn per_lane_transfer_times(platform: &PlatformConfig, inputs: &StageInputs<'_>) -> Vec<f64> {
+    let f0 = inputs.dims[0];
+    inputs
+        .accel_stats
+        .iter()
+        .map(|s| {
+            let bytes = inputs.precision.wire_bytes(s.input_nodes, f0) + s.total_edges() * 8;
+            platform.pcie.transfer_time(bytes)
+        })
+        .collect()
 }
 
 /// The design-time performance model.
@@ -249,6 +263,29 @@ impl PerfModel {
         } else {
             t.serial_iteration()
         }
+    }
+
+    /// Predicted per-accelerator wire times for a given mapping — the
+    /// lane inputs to
+    /// [`crate::pipeline::simulate_pipeline_multilane`], letting the
+    /// model quantify what concurrent transfer lanes buy over a single
+    /// serialized transfer thread for this dataset and split.
+    pub fn lane_transfer_times(&self, dataset: &DatasetSpec, split: &WorkloadSplit) -> Vec<f64> {
+        let cpu_stats = self.analytic_workload(dataset, split.cpu_quota);
+        let accel_stats: Vec<WorkloadStats> = (0..split.num_accelerators)
+            .map(|i| self.analytic_workload(dataset, split.accel_quota(i)))
+            .collect();
+        let dims = self.dims(dataset);
+        let inputs = StageInputs {
+            cpu_stats: &cpu_stats,
+            accel_stats: &accel_stats,
+            dims: &dims,
+            width_factor: self.train.model.update_width_factor(),
+            model_bytes: self.model_bytes(dataset),
+            sampling_on_accel: split.sampling_on_accel,
+            precision: self.train.transfer_precision,
+        };
+        per_lane_transfer_times(&self.platform, &inputs)
     }
 
     /// Predicted producer-side cost of one DRM `balance_work`
@@ -457,6 +494,23 @@ mod tests {
             pm.invalidation_cost(&OGBN_PRODUCTS, &split, &threads, 2, 2, 0),
             0.0
         );
+    }
+
+    #[test]
+    fn lane_transfer_times_match_the_stage_max() {
+        let cfg = fpga_cfg(GnnKind::GraphSage);
+        let pm = PerfModel::new(&cfg);
+        let (split, threads) = pm.initial_mapping(&OGBN_PRODUCTS);
+        let lanes = pm.lane_transfer_times(&OGBN_PRODUCTS, &split);
+        assert_eq!(lanes.len(), split.num_accelerators);
+        assert!(lanes.iter().all(|&t| t > 0.0));
+        // Eq. 8's stage time is exactly the slowest lane
+        let t = pm.stage_times(&OGBN_PRODUCTS, &split, &threads);
+        let max = lanes.iter().copied().fold(0.0f64, f64::max);
+        assert!((t.transfer - max).abs() < 1e-12);
+        // symmetric quotas -> near-symmetric lanes (remainder seeds only)
+        let min = lanes.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.1, "lanes implausibly skewed: {lanes:?}");
     }
 
     #[test]

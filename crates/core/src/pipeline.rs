@@ -220,6 +220,102 @@ pub fn simulate_pipeline_ringed_flushed(
     }
 }
 
+/// [`simulate_pipeline_ringed`] with the Data Transfer stage split into
+/// per-accelerator *lanes*: `lane_transfer[a]` is accelerator `a`'s wire
+/// time per iteration, and up to `concurrent_lanes` lanes run their
+/// round-trips concurrently. The real producer's lane cap is a
+/// *work-conserving* counting semaphore (`TransferLaneGate`): any idle
+/// slot picks up any waiting round-trip, so the stage's per-iteration
+/// occupancy is modeled as the work-conserving makespan bound
+/// `max(longest lane, Σ lanes / cap)` — monotone non-increasing in the
+/// cap, unlike any static lane→thread partition (which can *regress*
+/// when a cap change rebins an unlucky lane mix). `concurrent_lanes =
+/// 1` is the serialized single-transfer-thread model (the *sum* of the
+/// lane times); `concurrent_lanes ≥ lanes` overlaps every round-trip
+/// (the *max*). With ≥ 2 transfer-bound lanes the concurrent model
+/// therefore predicts a strictly smaller wall. `costs.transfer` is
+/// ignored — the lane times replace it; the other stages behave exactly
+/// as in [`simulate_pipeline_ringed`], including the `depth` prefetch
+/// window and the `ring_depth` staging-slot gate.
+#[allow(clippy::needless_range_loop)] // gates read finished[i - k]
+pub fn simulate_pipeline_multilane(
+    costs: &PipelineStageCosts,
+    lane_transfer: &[f64],
+    iterations: usize,
+    depth: usize,
+    ring_depth: usize,
+    concurrent_lanes: usize,
+) -> PipelineRun {
+    assert!(iterations > 0, "need at least one iteration");
+    let cap = concurrent_lanes.max(1).min(lane_transfer.len().max(1));
+    // Work-conserving occupancy of the transfer stage per iteration:
+    // `cap` gate slots serve the lanes' round-trips greedily, so the
+    // stage can finish no earlier than its longest single round-trip
+    // and no earlier than the total wire work spread over the slots.
+    let total: f64 = lane_transfer.iter().sum();
+    let longest = lane_transfer.iter().copied().fold(0.0f64, f64::max);
+    let transfer_occupancy = longest.max(total / cap as f64);
+    let pre = [costs.sample, costs.load];
+    let mut completions = Vec::with_capacity(iterations);
+    let mut finished = vec![0.0f64; iterations];
+
+    if depth == 0 {
+        // serial execution round-trips the lanes inline, one after the
+        // other, between load and propagation — no concurrency at all
+        let serial_iter = costs.sample + costs.load + total + costs.propagate;
+        let mut clock = 0.0;
+        for i in 0..iterations {
+            clock += serial_iter;
+            finished[i] = clock;
+            completions.push(clock);
+        }
+    } else {
+        let mut pre_free = [0.0f64; 2];
+        let mut transfer_free = 0.0f64;
+        let mut prop_free = 0.0f64;
+        for i in 0..iterations {
+            let gate = if i > depth {
+                finished[i - depth - 1]
+            } else {
+                0.0
+            };
+            let mut batch_ready = gate;
+            for (s, &cost) in pre.iter().enumerate() {
+                let start = batch_ready.max(pre_free[s]);
+                let end = start + cost;
+                pre_free[s] = end;
+                batch_ready = end;
+            }
+            // Transfer: the lanes' round-trips may start once the batch
+            // is gathered, the gate slots are free of the previous
+            // iteration, and the staging slots are released (iteration
+            // i - ring_depth finished propagation).
+            let mut start = batch_ready.max(transfer_free);
+            if ring_depth > 0 && i >= ring_depth {
+                start = start.max(finished[i - ring_depth]);
+            }
+            let transfer_done = start + transfer_occupancy;
+            transfer_free = transfer_done;
+            let start = transfer_done.max(prop_free);
+            let end = start + costs.propagate;
+            prop_free = end;
+            finished[i] = end;
+            completions.push(end);
+        }
+    }
+
+    let steady_gap = if iterations >= 2 {
+        completions[iterations - 1] - completions[iterations - 2]
+    } else {
+        completions[0]
+    };
+    PipelineRun {
+        makespan: completions[iterations - 1],
+        completions,
+        steady_gap,
+    }
+}
+
 /// [`simulate_pipeline`] with per-accelerator staging rings of
 /// `ring_depth` slots between the transfer and propagation stages: the
 /// wire transfer of iteration `i` may not start before the propagation
@@ -568,6 +664,118 @@ mod tests {
             );
         }
         assert!(run.completions.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn multilane_single_lane_matches_ringed() {
+        // one accelerator: the lane model degenerates to the serialized
+        // transfer stage, whatever the concurrency cap
+        let c = costs(0.5, 0.5, 0.0, 2.0);
+        for depth in [0usize, 2, 3] {
+            for ring in [0usize, 1, 2] {
+                let reference = {
+                    let mut cr = c;
+                    cr.transfer = 1.5;
+                    simulate_pipeline_ringed(&cr, 25, depth, ring)
+                };
+                for cap in [1usize, 2, 8] {
+                    let lane = simulate_pipeline_multilane(&c, &[1.5], 25, depth, ring, cap);
+                    assert_eq!(
+                        reference.completions, lane.completions,
+                        "depth {depth} ring {ring} cap {cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilane_concurrency_beats_serialized_when_transfer_bound() {
+        // two transfer-bound lanes (wire 2s each vs 0.5s compute): the
+        // serialized transfer thread pays 4s per iteration, concurrent
+        // lanes pay 2s — strictly smaller wall
+        let c = costs(0.2, 0.2, 0.0, 0.5);
+        let lanes = [2.0f64, 2.0];
+        let serialized = simulate_pipeline_multilane(&c, &lanes, 30, 2, 2, 1);
+        let concurrent = simulate_pipeline_multilane(&c, &lanes, 30, 2, 2, 2);
+        assert!(
+            concurrent.makespan < serialized.makespan - 1e-9,
+            "concurrent lanes must beat the single transfer thread: {} vs {}",
+            concurrent.makespan,
+            serialized.makespan
+        );
+        // steady state: serialized gap = sum of lanes, concurrent = max
+        assert!((serialized.steady_gap - 4.0).abs() < 1e-9);
+        assert!((concurrent.steady_gap - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multilane_cap_is_monotone_and_bounded() {
+        let c = costs(0.3, 0.3, 0.0, 0.8);
+        let lanes = [1.0f64, 0.7, 1.3, 0.9];
+        let mut prev = f64::INFINITY;
+        for cap in 1..=4 {
+            let run = simulate_pipeline_multilane(&c, &lanes, 25, 3, 2, cap);
+            assert!(
+                run.makespan <= prev + 1e-9,
+                "cap {cap} regressed: {} vs {prev}",
+                run.makespan
+            );
+            prev = run.makespan;
+        }
+        // a cap beyond the lane count changes nothing
+        let at4 = simulate_pipeline_multilane(&c, &lanes, 25, 3, 2, 4).makespan;
+        let at16 = simulate_pipeline_multilane(&c, &lanes, 25, 3, 2, 16).makespan;
+        assert_eq!(at4, at16);
+        // completions stay monotone
+        let run = simulate_pipeline_multilane(&c, &lanes, 25, 3, 2, 2);
+        assert!(run.completions.windows(2).all(|w| w[1] >= w[0]));
+
+        // Regression: the lane mix that breaks any static lane→thread
+        // binning. [3,1,1,3] round-robined over 3 threads would load
+        // them [3+3, 1, 1] — *worse* than 2 threads' [3+1, 1+3]. The
+        // work-conserving gate model must keep cap 3 ≤ cap 2.
+        let skewed = [3.0f64, 1.0, 1.0, 3.0];
+        let mut prev = f64::INFINITY;
+        for cap in 1..=4 {
+            let m = simulate_pipeline_multilane(&c, &skewed, 25, 3, 2, cap).makespan;
+            assert!(
+                m <= prev + 1e-9,
+                "skewed lanes: cap {cap} regressed ({m} vs {prev})"
+            );
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn multilane_serial_depth_sums_all_lanes() {
+        // depth 0 round-trips lanes inline: concurrency cannot help
+        let c = costs(0.5, 0.5, 0.0, 1.0);
+        let lanes = [1.0f64, 2.0];
+        let a = simulate_pipeline_multilane(&c, &lanes, 10, 0, 2, 1);
+        let b = simulate_pipeline_multilane(&c, &lanes, 10, 0, 2, 2);
+        assert_eq!(a.completions, b.completions);
+        assert!((a.steady_gap - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multilane_ring_gate_still_binds() {
+        // transfer-bound symmetric lanes at ring depth 1 serialize each
+        // lane's wire with propagation even when lanes are concurrent
+        let c = costs(0.1, 0.1, 0.0, 3.0);
+        let lanes = [2.0f64, 2.0];
+        let ring1 = simulate_pipeline_multilane(&c, &lanes, 40, 4, 1, 2);
+        let ring2 = simulate_pipeline_multilane(&c, &lanes, 40, 4, 2, 2);
+        assert!(
+            (ring1.steady_gap - 5.0).abs() < 1e-9,
+            "{}",
+            ring1.steady_gap
+        );
+        assert!(
+            (ring2.steady_gap - 3.0).abs() < 1e-9,
+            "{}",
+            ring2.steady_gap
+        );
     }
 
     #[test]

@@ -9,21 +9,32 @@
 //! feeds them through a bounded channel of depth `d`
 //! (`TrainConfig::prefetch_depth`) to the consuming trainer.
 //!
-//! ## Double-buffered transfer (staging rings)
+//! ## Concurrent per-accelerator transfer lanes (staging rings)
 //!
-//! The producer is itself a two-stage pipeline. A *gather* thread
-//! samples and NUMA-gathers features; a *transfer* thread performs the
-//! wire-precision round-trip. Between the transfer stage and the
-//! consuming trainer sit per-accelerator [`StagingRing`]s of
-//! `TrainConfig::staging_ring_depth` slots: a slot is occupied from the
-//! start of a batch's round-trip until its propagation completes (the
-//! consumer drops the batch's [`SlotToken`]s after training), so at ring
-//! depth 2 the wire transfer of batch `i+1` overlaps the accelerator
-//! compute of batch `i` — double buffering *within* the producer, not
-//! only across the producer/consumer queue. Ring depth 1 is a single
-//! staging buffer: transfer and compute serialize, exactly like the
+//! The producer is itself a pipeline. A *gather* thread samples and
+//! NUMA-gathers features, then fans each accelerator's matrix out to
+//! that accelerator's **transfer lane** — a dedicated thread that pulls
+//! gathered batches from its own bounded channel, stages them through
+//! its [`StagingRing`], and runs the wire-precision round-trip. Lanes
+//! run *concurrently with each other* (DistDGLv2/HitGNN-style per-link
+//! saturation: with 4 accelerators the four round-trips overlap each
+//! other as well as trainer compute), bounded WorkerGroup-style by the
+//! shared [`TransferLaneGate`] (resized live by DRM `balance_thread`
+//! moves). An *assembler* thread re-joins the lanes' completions, in
+//! lane-FIFO order, into [`PreparedIteration`]s for the consumer queue.
+//!
+//! Each lane's [`StagingRing`] holds `TrainConfig::staging_ring_depth`
+//! slots: a slot is occupied from the start of a batch's round-trip
+//! until its propagation completes (the consumer drops the batch's
+//! [`SlotToken`]s after training), so at ring depth 2 the wire transfer
+//! of batch `i+1` overlaps the accelerator compute of batch `i` —
+//! double buffering *within* the lane, not only across the
+//! producer/consumer queue. Ring depth 1 is a single staging buffer:
+//! that lane's transfer and compute serialize, exactly like the
 //! `ring_depth = 1` case of `hyscale_device::stage::StagingModel` and
-//! [`crate::pipeline::simulate_pipeline_ringed`].
+//! [`crate::pipeline::simulate_pipeline_ringed`]. The lane-concurrency
+//! dimension is modeled by
+//! [`crate::pipeline::simulate_pipeline_multilane`].
 //!
 //! ## Determinism contract
 //!
@@ -38,16 +49,18 @@
 //! prepared iterations carry the quotas *and the quota epoch* (re-map
 //! generation counter) they were built under, so a straggler from an
 //! outdated plan is rejected at receive time rather than globally
-//! flushed. Invalidation itself is **surgical**
-//! ([`IterationFeed::invalidate`]): a `balance_work` move re-slices
+//! flushed. Invalidation itself is **surgical and coalesced**
+//! ([`IterationFeed::invalidate`]): a burst of `balance_work` events is
+//! folded into one re-slice against the final quotas, which re-slices
 //! only the trainers whose seed slice actually moved — settled
 //! trainers keep their queued batches, pooled matrices, and staging
-//! slots — and drains only the rings of *changed* lanes; a zero-diff
-//! re-map is a no-op, and only missed-event recovery pays the full
-//! flush (`drain_all`). `tests/equivalence.rs` and the randomized
+//! slots — and drains only the rings *and lane channels* of changed
+//! lanes; a zero-diff re-map (including a burst that cancels out) is a
+//! no-op, and only missed-event recovery pays the full flush
+//! (`drain_all`). `tests/equivalence.rs` and the randomized
 //! DRM-schedule harness in `tests/proptest_invariants.rs` pin weights
-//! bitwise across prefetch depths {0, 1, 2, 4} × ring depths {1, 2}
-//! including across re-mapping events.
+//! bitwise across prefetch depths {0, 1, 2, 4} × ring depths {1, 2} ×
+//! transfer-lane caps {1, 2, 4} including across re-mapping events.
 //!
 //! ## Allocation discipline
 //!
@@ -131,6 +144,134 @@ impl MatrixPool {
     }
 }
 
+/// WorkerGroup-style concurrency cap for the per-accelerator transfer
+/// lanes: every accelerator owns a dedicated lane (thread + staging
+/// ring + bounded channel), and this gate bounds how many of those
+/// lanes may run their wire-precision round-trips *at the same time*.
+///
+/// Like [`rayon::WorkerGroup`], the **logical** cap is resizable at any
+/// moment ([`set_cap`](Self::set_cap) — the entry point for DRM
+/// `balance_thread` moves, which re-size lane concurrency live without
+/// draining anything), while the **effective** cap is additionally
+/// bounded by the host's real parallelism. Lane order through the gate
+/// is timing-only: round-trips are deterministic per matrix, so the cap
+/// changes wall-clock, never bytes.
+///
+/// ```
+/// use hyscale_core::prefetch::TransferLaneGate;
+/// use std::sync::atomic::AtomicBool;
+///
+/// // the effective cap is host-bounded: pretend this doctest machine
+/// // has 4 cores so two lanes may genuinely overlap
+/// std::env::set_var("HYSCALE_RAYON_THREADS", "4");
+/// let gate = TransferLaneGate::new(2, false);
+/// let stop = AtomicBool::new(false);
+/// assert!(gate.enter(&stop));          // lane 0 transfers
+/// assert!(gate.enter(&stop));          // lane 1 overlaps it
+/// assert_eq!(gate.in_flight(), 2);
+/// gate.set_cap(4);                     // balance_thread widens the budget
+/// assert_eq!(gate.cap(), 4);
+/// gate.exit();
+/// gate.exit();
+/// assert_eq!(gate.in_flight(), 0);
+/// std::env::remove_var("HYSCALE_RAYON_THREADS");
+/// ```
+pub struct TransferLaneGate {
+    cap: AtomicUsize,
+    /// `true` when the cap mirrors the DRM loader thread budget (the
+    /// `TrainConfig::transfer_lanes = 0` auto mode): `balance_thread`
+    /// moves then re-size it; a fixed explicit cap ignores them.
+    follow_threads: bool,
+    in_flight: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl TransferLaneGate {
+    /// A gate admitting `cap` concurrent lane round-trips (clamped
+    /// ≥ 1). `follow_threads` marks the cap as mirroring the DRM's
+    /// loader thread budget (see [`on_thread_alloc`](Self::on_thread_alloc)).
+    pub fn new(cap: usize, follow_threads: bool) -> Self {
+        Self {
+            cap: AtomicUsize::new(cap.max(1)),
+            follow_threads,
+            in_flight: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current logical cap.
+    pub fn cap(&self) -> usize {
+        self.cap.load(Ordering::Acquire)
+    }
+
+    /// Lanes inside the gate right now.
+    pub fn in_flight(&self) -> usize {
+        *self.in_flight.lock()
+    }
+
+    /// Concurrency a round of transfers can actually achieve: the
+    /// logical cap bounded by the host's real parallelism.
+    pub fn effective_cap(&self) -> usize {
+        self.cap().min(rayon::host_threads()).max(1)
+    }
+
+    /// Re-size the logical cap live (clamped ≥ 1) and wake waiting
+    /// lanes so a widened gate is observed immediately. Drains nothing:
+    /// in-flight round-trips, staged batches, and queued iterations all
+    /// stay valid — lane concurrency is pure wall-clock. The notify
+    /// runs under the gate mutex so it cannot be lost between a
+    /// waiter's cap check and its park.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap.max(1), Ordering::Release);
+        let _guard = self.in_flight.lock();
+        self.cv.notify_all();
+    }
+
+    /// Apply a DRM [`ThreadAlloc`]: in auto mode the lane cap follows
+    /// the loader budget (the transfer stage is the loader-adjacent
+    /// wire stage); a fixed cap is left untouched.
+    pub fn on_thread_alloc(&self, alloc: &ThreadAlloc) {
+        if self.follow_threads {
+            self.set_cap(alloc.loader);
+        }
+    }
+
+    /// Enter the gate, blocking while `effective_cap` lanes are already
+    /// transferring. Returns `false` (without entering) once `stop`
+    /// rises — a lane being shut down must not wedge on a slot that
+    /// will never free.
+    pub fn enter(&self, stop: &AtomicBool) -> bool {
+        let mut busy = self.in_flight.lock();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
+            if *busy < self.effective_cap() {
+                *busy += 1;
+                return true;
+            }
+            self.cv.wait(&mut busy);
+        }
+    }
+
+    /// Leave the gate, waking one waiting lane.
+    pub fn exit(&self) {
+        {
+            let mut busy = self.in_flight.lock();
+            *busy = busy.saturating_sub(1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wake every waiter so it can observe a raised stop flag (under
+    /// the gate mutex — see [`set_cap`](Self::set_cap) for why an
+    /// unlocked notify could be lost).
+    fn interrupt(&self) {
+        let _guard = self.in_flight.lock();
+        self.cv.notify_all();
+    }
+}
+
 /// One accelerator's device-side staging buffer, modeled as a bounded
 /// slot counter plus a lane-local free list of recycled feature buffers.
 ///
@@ -161,6 +302,7 @@ pub struct StagingRing {
     state: Mutex<RingState>,
     cv: Condvar,
     drains: AtomicUsize,
+    channel_drains: AtomicUsize,
 }
 
 #[derive(Default)]
@@ -177,6 +319,7 @@ impl StagingRing {
             state: Mutex::new(RingState::default()),
             cv: Condvar::new(),
             drains: AtomicUsize::new(0),
+            channel_drains: AtomicUsize::new(0),
         }
     }
 
@@ -193,6 +336,21 @@ impl StagingRing {
     /// Times this ring has been drained by a DRM re-mapping event.
     pub fn drains(&self) -> usize {
         self.drains.load(Ordering::Relaxed)
+    }
+
+    /// Times this lane's bounded transfer *channel* (the gather-stage →
+    /// lane-thread queue) has been **charged** a drain by a DRM
+    /// re-mapping event. Like [`drains`](Self::drains) this is surgical
+    /// accounting: only lanes whose quota share moved record the event.
+    /// Note the charge records *whose data the re-map invalidated*, not
+    /// which channels physically emptied — a re-slice restarts the
+    /// producer generation, so gathered-but-untransferred channel work
+    /// of every lane is recycled and deterministically re-gathered;
+    /// what untouched lanes keep across the re-map is their share of
+    /// the fully-prepared consumer-queue iterations (batch, buffer,
+    /// staging slot — see `reslice_iteration`).
+    pub fn channel_drains(&self) -> usize {
+        self.channel_drains.load(Ordering::Relaxed)
     }
 
     /// Occupy a slot, blocking while the ring is full. Returns `false`
@@ -253,11 +411,22 @@ impl StagingRing {
     /// invalidates *contents*, not allocations.
     fn drain(&self) {
         self.drains.fetch_add(1, Ordering::Relaxed);
-        self.cv.notify_all();
+        self.interrupt();
     }
 
-    /// Wake any waiter so it can observe a raised stop flag.
+    /// Record a DRM drain of this lane's transfer channel.
+    fn drain_channel(&self) {
+        self.channel_drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wake any waiter so it can observe a raised stop flag. The notify
+    /// happens *under the state mutex*: `acquire` checks the stop flag
+    /// and parks while holding that lock, so an unlocked notify could
+    /// slot between its check and its park and be lost — leaving a lane
+    /// asleep on a ring whose slots will never free (the shutdown path
+    /// joins that very lane).
     fn interrupt(&self) {
+        let _guard = self.state.lock();
         self.cv.notify_all();
     }
 }
@@ -309,6 +478,11 @@ impl StagingRings {
         self.rings.iter().map(StagingRing::drains).sum()
     }
 
+    /// Total DRM lane-channel drain events across all rings.
+    pub fn channel_drains_total(&self) -> usize {
+        self.rings.iter().map(StagingRing::channel_drains).sum()
+    }
+
     /// Record a full re-map drain on every ring. This survives only for
     /// `set_mapping`-style full re-maps (and the missed-event recovery
     /// path): a surgical `balance_work` drains per lane via
@@ -316,16 +490,19 @@ impl StagingRings {
     pub(crate) fn drain_all(&self) {
         for r in &self.rings {
             r.drain();
+            r.drain_channel();
         }
     }
 
     /// Record a DRM `balance_work` drain on exactly the lanes whose
     /// quota share moved (`mask[a]` true). Untouched lanes keep their
-    /// drain count — the pinned "surgical" invariant.
+    /// drain count — the pinned "surgical" invariant. The drain covers
+    /// both the lane's staging ring and its transfer channel.
     pub(crate) fn drain_lanes(&self, mask: &[bool]) {
         for (r, &changed) in self.rings.iter().zip(mask) {
             if changed {
                 r.drain();
+                r.drain_channel();
             }
         }
     }
@@ -414,6 +591,10 @@ pub struct PrepareCtx {
     /// Per-accelerator staging rings gating the transfer stage (shared
     /// with the executor, which releases slots after propagation).
     pub rings: Arc<StagingRings>,
+    /// Concurrency cap for the per-accelerator transfer lanes (shared
+    /// with the executor; a DRM `balance_thread` move re-sizes it live
+    /// via [`TransferLaneGate::on_thread_alloc`]).
+    pub transfer_gate: Arc<TransferLaneGate>,
     /// Epoch time origin: transfer spans and propagation windows are
     /// recorded relative to this instant so the executor can measure how
     /// much wire time the rings hid behind compute.
@@ -433,6 +614,22 @@ impl PrepareCtx {
         } else {
             None
         }
+    }
+
+    /// Inverse of [`accel_of`](Self::accel_of): the trainer index served
+    /// by accelerator lane `a`.
+    pub(crate) fn trainer_of(&self, a: usize) -> usize {
+        a + usize::from(self.hybrid)
+    }
+
+    /// Concurrent transfer lanes a full round of accelerator round-trips
+    /// can achieve right now: one lane per ring, capped by the live
+    /// transfer-gate budget.
+    pub(crate) fn transfer_lanes(&self) -> usize {
+        self.transfer_gate
+            .effective_cap()
+            .min(self.rings.num_rings())
+            .max(1)
     }
 }
 
@@ -464,13 +661,25 @@ pub struct PreparedIteration {
     /// Wall-clock seconds of the loader fan-out (feature gathering).
     pub load_wall_s: f64,
     /// Wall-clock seconds of the precision round-trip (the functional
-    /// stand-in for the PCIe transfer), measured on the transfer stage.
+    /// stand-in for the PCIe transfer): the *aggregate* wire work, i.e.
+    /// the sum over [`lane_transfer_walls`](Self::lane_transfer_walls).
     pub transfer_wall_s: f64,
     /// `(start, end)` of the round-trip relative to the epoch origin
-    /// ([`PrepareCtx::origin`]): the executor intersects this with its
-    /// propagation windows to measure the wire time the staging rings
-    /// hid behind accelerator compute.
+    /// ([`PrepareCtx::origin`]) — the union over every lane's span: the
+    /// executor intersects this with its propagation windows to measure
+    /// the wire time the staging rings hid behind accelerator compute.
     pub transfer_span: (f64, f64),
+    /// Per-accelerator-lane round-trip wall seconds (index = ring
+    /// index; `0.0` for lanes that shipped nothing this iteration).
+    pub lane_transfer_walls: Vec<f64>,
+    /// Per-lane `(start, end)` transfer spans against the epoch origin
+    /// (`None` for idle lanes) — the per-lane twin of
+    /// [`transfer_span`](Self::transfer_span), from which the executor
+    /// measures per-lane hidden-transfer time.
+    pub lane_transfer_spans: Vec<Option<(f64, f64)>>,
+    /// Concurrent transfer lanes this iteration's round-trips ran under
+    /// (`1` for inline serial preparation).
+    pub transfer_lanes: usize,
     /// Staging slots this batch occupies, one per accelerator batch —
     /// released (by drop) when the consumer finishes propagation. Empty
     /// in serial execution, which stages nothing ahead.
@@ -604,30 +813,82 @@ fn stage_gather(
     })
 }
 
-/// Occupy one staging slot per accelerator batch of `staged`, in trainer
-/// order. `None` (releasing any slots already taken) once `stop` rises.
-fn acquire_slots(
-    ctx: &PrepareCtx,
-    staged: &StagedIteration,
-    stop: &AtomicBool,
-) -> Option<Vec<SlotToken>> {
-    let mut slots = Vec::new();
-    for (idx, b) in staged.batches.iter().enumerate() {
-        if b.is_none() {
-            continue;
-        }
-        if let Some(a) = ctx.accel_of(idx) {
-            slots.push(ctx.rings.acquire_token(a, stop)?);
-        }
-    }
-    Some(slots)
+/// One accelerator batch traveling from the gather stage to its
+/// transfer lane over the lane's bounded channel.
+struct LaneWork {
+    accel: usize,
+    x: Matrix,
 }
 
-/// Transfer stage: round-trip accelerator-bound matrices at the wire
-/// precision (identity at F32; the §VIII quantization extension),
-/// stamping the transfer span against the epoch origin. `slots` are the
-/// staging slots this batch holds until propagation completes (empty in
-/// serial execution).
+impl LaneWork {
+    /// Return the gathered-but-untransferred buffer to its lane's free
+    /// list (a recycle invalidates contents, never allocations).
+    fn recycle(self, rings: &StagingRings) {
+        rings.ring(self.accel).put_buffer(self.x);
+    }
+}
+
+/// A lane's completed wire round-trip, headed for the assembler: the
+/// transferred matrix, the staging slot it occupies until propagation
+/// completes, and the lane-local transfer timing.
+struct LaneDone {
+    x: Matrix,
+    token: SlotToken,
+    span: (f64, f64),
+    wall_s: f64,
+}
+
+impl LaneDone {
+    fn recycle(self, rings: &StagingRings) {
+        let accel = self.token.accel();
+        rings.ring(accel).put_buffer(self.x);
+        // self.token drops here, releasing the staging slot
+    }
+}
+
+/// What a transfer lane reports back to the assembler — exactly one
+/// message per [`LaneWork`] it received, **always**, even during
+/// teardown. This one-for-one discipline is load-bearing: the assembler
+/// pairs completions with skeletons purely by per-lane FIFO order, so a
+/// lane that silently dropped a stopped work item would leave the
+/// assembler waiting on a completion that never comes while the gather
+/// thread is parked on the skeleton channel only the assembler can
+/// drain — a deadlock. A lane that bails out (stop raised before its
+/// round-trip) recycles the buffer and reports [`Aborted`](Self::Aborted)
+/// instead.
+enum LaneMsg {
+    /// The round-trip completed; the batch occupies its staging slot.
+    Done(LaneDone),
+    /// The work item was abandoned (shutdown); its buffer was recycled.
+    Aborted,
+}
+
+/// The non-accelerator remainder of a staged iteration (CPU batch,
+/// seed sets, walls) waiting at the assembler for its lanes' completed
+/// round-trips. `lanes` lists the ring indices that received a
+/// [`LaneWork`] for this iteration, in trainer order — the assembler
+/// receives exactly one [`LaneDone`] per entry, in that order, from
+/// each lane's FIFO completion channel.
+struct StagedSkeleton {
+    staged: StagedIteration,
+    lanes: Vec<usize>,
+}
+
+impl StagedSkeleton {
+    fn recycle(self, pool: &MatrixPool) {
+        self.staged.recycle(pool);
+    }
+}
+
+/// Transfer stage, inline serial variant: round-trip every
+/// accelerator-bound matrix at the wire precision (identity at F32; the
+/// §VIII quantization extension) back to back on the caller thread,
+/// stamping per-lane transfer spans against the epoch origin. `slots`
+/// are the staging slots this batch holds until propagation completes
+/// (empty in serial execution). The pipelined path runs the *same*
+/// round-trip per lane on the concurrent lane threads instead — one
+/// in-place call per matrix either way, which is what keeps the two
+/// bitwise-identical.
 fn apply_transfer(
     ctx: &PrepareCtx,
     staged: StagedIteration,
@@ -643,17 +904,30 @@ fn apply_transfer(
         load_wall_s,
         threads,
     } = staged;
-    let span_start = ctx.origin.elapsed().as_secs_f64();
-    let transfer_start = Instant::now();
+    let num_rings = ctx.rings.num_rings();
+    let mut lane_transfer_walls = vec![0.0f64; num_rings];
+    let mut lane_transfer_spans: Vec<Option<(f64, f64)>> = vec![None; num_rings];
+    let mut transfer_wall_s = 0.0f64;
+    let mut span: Option<(f64, f64)> = None;
     for (idx, x) in features.iter_mut().enumerate() {
-        if let (Some(x), Some(_)) = (x.as_mut(), ctx.accel_of(idx)) {
+        if let (Some(x), Some(a)) = (x.as_mut(), ctx.accel_of(idx)) {
+            let lane_start = ctx.origin.elapsed().as_secs_f64();
+            let wall_start = Instant::now();
             ctx.workers
                 .loader()
                 .install(|| ctx.precision.round_trip_in_place(x));
+            let wall = wall_start.elapsed().as_secs_f64();
+            let lane_end = ctx.origin.elapsed().as_secs_f64();
+            lane_transfer_walls[a] = wall;
+            lane_transfer_spans[a] = Some((lane_start, lane_end));
+            transfer_wall_s += wall;
+            span = Some(match span {
+                Some((s, e)) => (s.min(lane_start), e.max(lane_end)),
+                None => (lane_start, lane_end),
+            });
         }
     }
-    let transfer_wall_s = transfer_start.elapsed().as_secs_f64();
-    let span_end = ctx.origin.elapsed().as_secs_f64();
+    let now = ctx.origin.elapsed().as_secs_f64();
 
     PreparedIteration {
         iter,
@@ -665,7 +939,10 @@ fn apply_transfer(
         sample_wall_s,
         load_wall_s,
         transfer_wall_s,
-        transfer_span: (span_start, span_end),
+        transfer_span: span.unwrap_or((now, now)),
+        lane_transfer_walls,
+        lane_transfer_spans,
+        transfer_lanes: 1,
         slots,
         threads,
     }
@@ -782,11 +1059,20 @@ fn reslice_iteration(
         outcome.flushed += usize::from(prep.batches[t].is_some());
         prep.batches[t] = None;
         if new_seed_sets[t].is_empty() {
-            // trainer deactivated: its buffer goes back for reuse
+            // trainer deactivated: its buffer goes back for reuse, and
+            // its lane's transfer accounting is cleared
             if let Some(m) = prep.features[t].take() {
                 match ctx.accel_of(t) {
                     Some(a) => ctx.rings.ring(a).put_buffer(m),
                     None => pool.release(m),
+                }
+            }
+            if let Some(a) = ctx.accel_of(t) {
+                if let Some(w) = prep.lane_transfer_walls.get_mut(a) {
+                    *w = 0.0;
+                }
+                if let Some(s) = prep.lane_transfer_spans.get_mut(a) {
+                    *s = None;
                 }
             }
         } else {
@@ -842,20 +1128,30 @@ fn reslice_iteration(
     });
     prep.load_wall_s += load_start.elapsed().as_secs_f64();
 
-    // --- Wire round-trip for the rebuilt accelerator batches.
+    // --- Wire round-trip for the rebuilt accelerator batches: each
+    // rebuilt lane's wall and span *replace* that lane's originals (the
+    // lane's batch was replaced outright); salvaged lanes keep theirs.
     let span_start = ctx.origin.elapsed().as_secs_f64();
-    let transfer_start = Instant::now();
     let mut any_transfer = false;
     for (t, mut x) in gathered.into_inner() {
-        if ctx.accel_of(t).is_some() {
+        if let Some(a) = ctx.accel_of(t) {
+            let lane_start = ctx.origin.elapsed().as_secs_f64();
+            let wall_start = Instant::now();
             ctx.workers
                 .loader()
                 .install(|| ctx.precision.round_trip_in_place(&mut x));
+            if let Some(w) = prep.lane_transfer_walls.get_mut(a) {
+                *w = wall_start.elapsed().as_secs_f64();
+            }
+            if let Some(s) = prep.lane_transfer_spans.get_mut(a) {
+                *s = Some((lane_start, ctx.origin.elapsed().as_secs_f64()));
+            }
             any_transfer = true;
         }
         prep.features[t] = Some(x);
     }
-    prep.transfer_wall_s += transfer_start.elapsed().as_secs_f64();
+    // aggregate stays the sum over lanes (salvaged + redone)
+    prep.transfer_wall_s = prep.lane_transfer_walls.iter().sum();
     if any_transfer {
         // The redo replaces the span outright: widening it over the
         // original transfer would span the queue-sit gap in between and
@@ -874,15 +1170,20 @@ fn reslice_iteration(
 }
 
 /// Handle to one background producer run (one contiguous span of
-/// iterations under fixed quotas): a gather thread feeding a transfer
-/// thread feeding the consumer queue.
+/// iterations under fixed quotas): a gather thread feeding one transfer
+/// *lane* per accelerator (each lane owns its staging ring and a
+/// bounded work channel; concurrent round-trips are capped by the
+/// shared [`TransferLaneGate`]) feeding an assembler that re-joins the
+/// lanes' completions into [`PreparedIteration`]s for the consumer
+/// queue.
 struct Prefetcher {
     rx: Receiver<PreparedIteration>,
     stop: Arc<AtomicBool>,
     rings: Arc<StagingRings>,
+    gate: Arc<TransferLaneGate>,
     /// Prepared iterations currently sitting in the consumer queue
-    /// (incremented by the transfer stage on send, decremented on
-    /// receive) — lets tests and benches wait for the queue to fill
+    /// (incremented by the assembler on send, decremented on receive) —
+    /// lets tests and benches wait for the queue to fill
     /// deterministically instead of sleeping.
     ready: Arc<AtomicUsize>,
     handles: Vec<JoinHandle<()>>,
@@ -905,11 +1206,102 @@ impl Prefetcher {
         pool: Arc<MatrixPool>,
     ) -> Self {
         let cap = depth.max(1);
-        let (staged_tx, staged_rx) = sync_channel::<StagedIteration>(cap);
+        let num_rings = ctx.rings.num_rings();
+        let (skel_tx, skel_rx) = sync_channel::<StagedSkeleton>(cap);
         let (ready_tx, rx) = sync_channel::<PreparedIteration>(cap);
         let stop = Arc::new(AtomicBool::new(false));
         let ready = Arc::new(AtomicUsize::new(0));
         let rings = Arc::clone(&ctx.rings);
+        let gate = Arc::clone(&ctx.transfer_gate);
+        let mut handles = Vec::with_capacity(2 + num_rings);
+
+        // Per-lane channels: gather → lane (bounded work) and lane →
+        // assembler (completion). Both are FIFO per lane, so the
+        // assembler re-pairs completions with skeletons purely by order
+        // — no sequence numbers needed.
+        //
+        // The completion channel is *unbounded* so a lane's report can
+        // never block: real completions are naturally bounded by the
+        // staging ring (every LaneDone holds a SlotToken, so at most
+        // `ring_depth` exist per lane), and teardown Aborted markers by
+        // the work channel's capacity. A lane parked in a completion
+        // send would neither drain its work channel (wedging the gather
+        // thread) nor drop its sender (wedging the assembler), and
+        // neither wait can observe `stop`.
+        let mut work_txs = Vec::with_capacity(num_rings);
+        let mut done_rxs = Vec::with_capacity(num_rings);
+        for a in 0..num_rings {
+            let (work_tx, work_rx) = sync_channel::<LaneWork>(cap);
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<LaneMsg>();
+            work_txs.push(work_tx);
+            done_rxs.push(done_rx);
+
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name(format!("hyscale-lane-{a}"))
+                .spawn(move || {
+                    // The lane loop drains its channel to disconnect even
+                    // after `stop` rises (recycling, not transferring), so
+                    // a gather thread parked on a full lane channel always
+                    // completes its send and can observe the flag. Every
+                    // received work item is answered with exactly one
+                    // LaneMsg — Done or Aborted — because the assembler
+                    // pairs completions by FIFO order (see LaneMsg).
+                    while let Ok(work) = work_rx.recv() {
+                        if stop.load(Ordering::Acquire) {
+                            work.recycle(&ctx.rings);
+                            let _ = done_tx.send(LaneMsg::Aborted);
+                            continue;
+                        }
+                        // The staging-slot gate: blocks while every slot
+                        // of this lane's ring holds a batch still in
+                        // transfer or compute — ring depth 1 serializes
+                        // this lane's wire with its compute, depth 2
+                        // double-buffers them.
+                        let Some(token) = ctx.rings.acquire_token(work.accel, &stop) else {
+                            work.recycle(&ctx.rings);
+                            let _ = done_tx.send(LaneMsg::Aborted);
+                            continue;
+                        };
+                        // The lane-concurrency gate: at most
+                        // `TransferLaneGate::effective_cap` lanes run
+                        // their round-trips at once (WorkerGroup-style;
+                        // resized live by DRM balance_thread moves).
+                        // Entered *after* the slot so a gated lane never
+                        // blocks slot-holders of other rings.
+                        if !ctx.transfer_gate.enter(&stop) {
+                            drop(token);
+                            work.recycle(&ctx.rings);
+                            let _ = done_tx.send(LaneMsg::Aborted);
+                            continue;
+                        }
+                        let lanes = ctx.transfer_lanes();
+                        let sub = ctx.workers.loader().sub_group(lanes, work.accel % lanes);
+                        let mut x = work.x;
+                        let span_start = ctx.origin.elapsed().as_secs_f64();
+                        let wall_start = Instant::now();
+                        sub.install(|| ctx.precision.round_trip_in_place(&mut x));
+                        let wall_s = wall_start.elapsed().as_secs_f64();
+                        let span = (span_start, ctx.origin.elapsed().as_secs_f64());
+                        ctx.transfer_gate.exit();
+                        let done = LaneDone {
+                            x,
+                            token,
+                            span,
+                            wall_s,
+                        };
+                        if let Err(rejected) = done_tx.send(LaneMsg::Done(done)) {
+                            // assembler gone (teardown): recycle in place
+                            if let LaneMsg::Done(done) = rejected.0 {
+                                done.recycle(&ctx.rings);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn transfer lane");
+            handles.push(handle);
+        }
 
         let gather_handle = {
             let ctx = Arc::clone(&ctx);
@@ -919,19 +1311,38 @@ impl Prefetcher {
             std::thread::Builder::new()
                 .name("hyscale-prefetch".into())
                 .spawn(move || {
-                    for iter in start_iter..end_iter {
+                    'epoch: for iter in start_iter..end_iter {
                         if stop.load(Ordering::Acquire) {
                             break;
                         }
                         match stage_gather(&ctx, &order, epoch, iter, &quotas, &pool) {
-                            // A closed channel means the transfer stage
-                            // moved on; recycle the rejected iteration's
-                            // buffers so a restart doesn't force fresh
-                            // allocations.
-                            Some(staged) => {
-                                if let Err(rejected) = staged_tx.send(staged) {
-                                    rejected.0.recycle(&pool);
-                                    break;
+                            Some(mut staged) => {
+                                // Fan the accelerator batches out to their
+                                // lanes' channels (in trainer order), then
+                                // hand the skeleton to the assembler. A
+                                // closed channel means the pipeline is
+                                // tearing down; recycle what this thread
+                                // still holds (the lanes recycle theirs).
+                                let mut lanes = Vec::new();
+                                for idx in 0..staged.batches.len() {
+                                    if staged.batches[idx].is_none() {
+                                        continue;
+                                    }
+                                    let Some(a) = ctx.accel_of(idx) else {
+                                        continue;
+                                    };
+                                    let x = staged.features[idx]
+                                        .take()
+                                        .expect("gathered accelerator feature matrix");
+                                    if work_txs[a].send(LaneWork { accel: a, x }).is_err() {
+                                        staged.recycle(&pool);
+                                        break 'epoch;
+                                    }
+                                    lanes.push(a);
+                                }
+                                if skel_tx.send(StagedSkeleton { staged, lanes }).is_err() {
+                                    break; // lane works already sent are
+                                           // recycled by their lanes
                                 }
                             }
                             None => break, // epoch seeds exhausted
@@ -940,30 +1351,91 @@ impl Prefetcher {
                 })
                 .expect("spawn prefetch gather stage")
         };
+        handles.push(gather_handle);
 
-        let transfer_handle = {
+        let assembler_handle = {
             let ctx = Arc::clone(&ctx);
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
             let ready = Arc::clone(&ready);
             std::thread::Builder::new()
-                .name("hyscale-transfer".into())
+                .name("hyscale-assemble".into())
                 .spawn(move || {
-                    while let Ok(staged) = staged_rx.recv() {
+                    'assemble: while let Ok(skeleton) = skel_rx.recv() {
                         if stop.load(Ordering::Acquire) {
-                            staged.recycle(&pool);
+                            skeleton.recycle(&pool);
                             break;
                         }
-                        // The staging-slot gate: blocks while every slot
-                        // of an accelerator's ring holds a batch still
-                        // in transfer or compute — this is where ring
-                        // depth 1 serializes and depth 2 double-buffers.
-                        let Some(slots) = acquire_slots(&ctx, &staged, &stop) else {
+                        let StagedSkeleton { staged, lanes } = skeleton;
+                        // Collect this iteration's completions, one per
+                        // active lane, in lane-FIFO order. An aborted work
+                        // item or a dead lane (stop raced us) aborts
+                        // assembly; everything gathered so far is
+                        // recycled.
+                        let mut dones: Vec<(usize, LaneDone)> = Vec::with_capacity(lanes.len());
+                        let mut aborted = false;
+                        for &a in &lanes {
+                            match done_rxs[a].recv() {
+                                Ok(LaneMsg::Done(done)) => dones.push((a, done)),
+                                Ok(LaneMsg::Aborted) | Err(_) => {
+                                    aborted = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if aborted {
+                            for (_, d) in dones {
+                                d.recycle(&ctx.rings);
+                            }
                             staged.recycle(&pool);
-                            break;
+                            break 'assemble;
+                        }
+                        let StagedIteration {
+                            iter,
+                            quotas,
+                            seed_sets,
+                            batches,
+                            mut features,
+                            sample_wall_s,
+                            load_wall_s,
+                            threads,
+                        } = staged;
+                        let num_rings = ctx.rings.num_rings();
+                        let mut lane_transfer_walls = vec![0.0f64; num_rings];
+                        let mut lane_transfer_spans: Vec<Option<(f64, f64)>> =
+                            vec![None; num_rings];
+                        let mut slots = Vec::with_capacity(dones.len());
+                        let mut transfer_wall_s = 0.0f64;
+                        let mut span: Option<(f64, f64)> = None;
+                        for (a, done) in dones {
+                            features[ctx.trainer_of(a)] = Some(done.x);
+                            slots.push(done.token);
+                            lane_transfer_walls[a] = done.wall_s;
+                            lane_transfer_spans[a] = Some(done.span);
+                            transfer_wall_s += done.wall_s;
+                            span = Some(match span {
+                                Some((s, e)) => (s.min(done.span.0), e.max(done.span.1)),
+                                None => done.span,
+                            });
+                        }
+                        let now = ctx.origin.elapsed().as_secs_f64();
+                        let prep = PreparedIteration {
+                            iter,
+                            quotas,
+                            quota_epoch,
+                            seed_sets,
+                            batches,
+                            features,
+                            sample_wall_s,
+                            load_wall_s,
+                            transfer_wall_s,
+                            transfer_span: span.unwrap_or((now, now)),
+                            lane_transfer_walls,
+                            lane_transfer_spans,
+                            transfer_lanes: ctx.transfer_lanes(),
+                            slots,
+                            threads,
                         };
-                        let mut prep = apply_transfer(&ctx, staged, slots);
-                        prep.quota_epoch = quota_epoch;
                         // Count the item *before* committing it to the
                         // channel: a consumer receiving it concurrently
                         // must never observe its decrement before this
@@ -986,20 +1458,25 @@ impl Prefetcher {
                     // This terminates: by the time the main loop breaks,
                     // `stop` is raised (every break path follows it), so
                     // the gather thread exits its loop and drops its
-                    // sender after at most one in-flight iteration.
-                    while let Ok(staged) = staged_rx.recv() {
-                        staged.recycle(&pool);
+                    // senders after at most one in-flight iteration.
+                    // Dropping `done_rxs` on exit unblocks any lane
+                    // parked in `done_tx.send`, and the lanes' own drain
+                    // loops recycle the rest.
+                    while let Ok(skeleton) = skel_rx.recv() {
+                        skeleton.recycle(&pool);
                     }
                 })
-                .expect("spawn prefetch transfer stage")
+                .expect("spawn prefetch assembler stage")
         };
+        handles.push(assembler_handle);
 
         Self {
             rx,
             stop,
             rings,
+            gate,
             ready,
-            handles: vec![gather_handle, transfer_handle],
+            handles,
         }
     }
 
@@ -1024,9 +1501,10 @@ impl Prefetcher {
     /// producer threads themselves before they exit.
     fn shutdown_collect(mut self) -> Vec<PreparedIteration> {
         self.stop.store(true, Ordering::Release);
-        // Wake a transfer stage blocked on a full staging ring so it can
-        // observe `stop` and bail out.
+        // Wake transfer lanes blocked on a full staging ring or on the
+        // lane-concurrency gate so they can observe `stop` and bail out.
         self.rings.interrupt_all();
+        self.gate.interrupt();
         // Drain whatever is buffered so a producer blocked on a full
         // channel can complete its send, observe `stop`, and exit. The
         // collected items keep their buffers and staging slots. The
@@ -1078,9 +1556,18 @@ impl Prefetcher {
 /// change (DRM re-mapping) the invalidation is *surgical*: queued
 /// iterations are re-sliced per trainer (`reslice_iteration`) so
 /// settled trainers keep their prepared batches, and only the staging
-/// rings of lanes whose share moved are drained. A zero-diff re-map is
-/// a no-op; only missed-event recovery (a stale batch actually reaching
-/// the consumer) still pays the full flush.
+/// rings — and transfer lane channels — of lanes whose share moved are
+/// drained. A zero-diff re-map is a no-op; only missed-event recovery
+/// (a stale batch actually reaching the consumer) still pays the full
+/// flush.
+///
+/// Re-maps are additionally **coalesced**: [`invalidate`](Self::invalidate)
+/// only *records* the target quotas, and the re-slice runs once, at the
+/// next [`obtain`](Self::obtain), against the final quotas — so a burst
+/// of `balance_work` events between two iterations diffs oldest-kept
+/// vs. newest and re-slices each trainer at most once (two moves of the
+/// same trainer pay one re-slice; a burst that cancels out pays
+/// nothing).
 pub struct IterationFeed {
     ctx: Arc<PrepareCtx>,
     order: Arc<Vec<u32>>,
@@ -1095,10 +1582,15 @@ pub struct IterationFeed {
     salvaged: VecDeque<PreparedIteration>,
     /// The quotas the live producer generation is slicing under.
     quotas: Vec<usize>,
+    /// A recorded-but-unapplied `balance_work` re-map `(next_iter,
+    /// final quotas)`: bursts of events overwrite it in place and the
+    /// single re-slice runs at the next `obtain`.
+    pending_remap: Option<(usize, Vec<usize>)>,
     /// Re-map generation counter; stamped on every produced batch so
     /// stragglers are rejected by a counter compare at receive time.
     quota_epoch: u64,
     restarts: usize,
+    remaps_coalesced: usize,
     batches_salvaged: usize,
     batches_flushed: usize,
     invalidation_wall_s: f64,
@@ -1127,8 +1619,10 @@ impl IterationFeed {
             pipeline: None,
             salvaged: VecDeque::new(),
             quotas: initial_quotas,
+            pending_remap: None,
             quota_epoch: 0,
             restarts: 0,
+            remaps_coalesced: 0,
             batches_salvaged: 0,
             batches_flushed: 0,
             invalidation_wall_s: 0.0,
@@ -1164,10 +1658,14 @@ impl IterationFeed {
 
     /// Obtain iteration `iter` prepared under exactly `quotas`.
     /// Returns `None` once the epoch's seeds are exhausted.
+    ///
+    /// Any re-maps recorded by [`invalidate`](Self::invalidate) since
+    /// the last call are applied first, as a single coalesced re-slice.
     pub fn obtain(&mut self, iter: usize, quotas: &[usize]) -> Option<PreparedIteration> {
         if self.depth == 0 {
             return prepare_iteration(&self.ctx, &self.order, self.epoch, iter, quotas, &self.pool);
         }
+        self.apply_pending_remap();
         // Salvaged survivors of the last re-map are served first.
         if let Some(front) = self.salvaged.front() {
             if front.iter == iter && front.quotas == quotas {
@@ -1203,28 +1701,53 @@ impl IterationFeed {
         }
     }
 
-    /// Apply a DRM `balance_work` re-mapping: the producer will serve
-    /// iteration `next_iter` onward under `quotas`. Invalidation is
-    /// surgical:
+    /// Record a DRM `balance_work` re-mapping: the producer will serve
+    /// iteration `next_iter` onward under `quotas`. The re-map is
+    /// **deferred and coalesced** — nothing is drained here; the
+    /// surgical re-slice runs once, at the next
+    /// [`obtain`](Self::obtain), against the *final* quotas of whatever
+    /// burst of events accumulated. Its semantics there:
     ///
-    /// * a **zero-diff** re-map (quotas unchanged) is a complete no-op —
-    ///   no drain, no restart, nothing flushed;
-    /// * otherwise queued iterations are re-sliced per trainer: settled
-    ///   trainers keep their batches, buffers, and staging slots
-    ///   (`reslice_iteration`), and only the rings of *changed* lanes
-    ///   record a drain;
+    /// * a **zero-diff** outcome (final quotas equal the live
+    ///   generation's — including a burst that cancels itself out) is a
+    ///   complete no-op: no drain, no restart, nothing flushed;
+    /// * otherwise queued iterations are re-sliced per trainer against
+    ///   the oldest-kept → newest quota diff: settled trainers keep
+    ///   their batches, buffers, and staging slots
+    ///   (`reslice_iteration`), and only the *changed* lanes record a
+    ///   ring drain and a lane-channel drain;
     /// * the producer restarts after the salvaged run, under the new
     ///   quotas and a bumped quota epoch (stragglers from the old
     ///   generation are rejected at receive time by the epoch stamp).
     pub fn invalidate(&mut self, next_iter: usize, quotas: Vec<usize>) {
+        if self.depth == 0 {
+            // serial feeds prepare inline: nothing is speculative, the
+            // quotas just take effect on the next inline preparation
+            self.quotas = quotas;
+            return;
+        }
+        if let Some((pending_iter, pending)) = self.pending_remap.take() {
+            // burst: coalesce into one re-slice against the final quotas
+            if pending != quotas {
+                self.remaps_coalesced += 1;
+            }
+            self.pending_remap = Some((pending_iter.min(next_iter), quotas));
+        } else {
+            self.pending_remap = Some((next_iter, quotas));
+        }
+    }
+
+    /// Run the single coalesced re-slice a burst of
+    /// [`invalidate`](Self::invalidate) calls recorded, if any.
+    fn apply_pending_remap(&mut self) {
+        let Some((next_iter, quotas)) = self.pending_remap.take() else {
+            return;
+        };
         if quotas == self.quotas {
             return; // zero-diff balance_work: nothing moved, nothing to pay
         }
         let diff = QuotaDiff::between(&self.quotas, &quotas);
         self.quotas = quotas;
-        if self.depth == 0 {
-            return; // serial feeds prepare inline: nothing is speculative
-        }
         let t0 = Instant::now();
         self.quota_epoch += 1;
         // Stop the old generation, keeping its queued iterations, and
@@ -1263,7 +1786,8 @@ impl IterationFeed {
             }
             self.flush_item(prep);
         }
-        // Only the lanes whose slice moved record the drain event.
+        // Only the lanes whose slice moved record the drain events —
+        // staging ring and transfer channel both, per changed lane.
         self.ctx
             .rings
             .drain_lanes(&diff.changed_lanes(self.ctx.hybrid, self.ctx.rings.num_rings()));
@@ -1273,16 +1797,39 @@ impl IterationFeed {
     }
 
     /// Apply a DRM `balance_thread` re-allocation: re-size the shared
-    /// worker pools so the producer's next dispatch runs at the new
-    /// widths. Unlike [`invalidate`](Self::invalidate) this is an
-    /// immediate cross-thread atomic store, not a message through the
-    /// queue — it is unordered with respect to in-flight iterations and
-    /// deliberately drains neither the queue nor the staging rings:
-    /// pool widths change wall-clock, never bytes, so already-prepared
-    /// iterations and in-flight transfers remain valid
-    /// (`tests/equivalence.rs` pins this bitwise).
+    /// worker pools — and, in auto mode, the transfer-lane concurrency
+    /// cap — so the producer's next dispatch runs at the new widths.
+    /// Unlike [`invalidate`](Self::invalidate) this is an immediate
+    /// cross-thread atomic store, not a message through the queue — it
+    /// is unordered with respect to in-flight iterations and
+    /// deliberately drains nothing: not the queue, not the staging
+    /// rings, not the lane channels. Pool widths and lane concurrency
+    /// change wall-clock, never bytes, so already-prepared iterations
+    /// and in-flight transfers remain valid (`tests/equivalence.rs` and
+    /// the multi-lane matrix in `tests/proptest_invariants.rs` pin this
+    /// bitwise).
     pub fn rebalance_threads(&self, alloc: &ThreadAlloc) {
         self.ctx.workers.apply(alloc);
+        self.ctx.transfer_gate.on_thread_alloc(alloc);
+    }
+
+    /// Concurrent transfer lanes the producer can run right now (one
+    /// lane per accelerator ring, capped by the live
+    /// [`TransferLaneGate`] budget).
+    pub fn transfer_lanes(&self) -> usize {
+        self.ctx.transfer_lanes()
+    }
+
+    /// The live transfer-lane concurrency gate.
+    pub fn transfer_gate(&self) -> &Arc<TransferLaneGate> {
+        &self.ctx.transfer_gate
+    }
+
+    /// `balance_work` bursts folded into an already-pending re-map (each
+    /// counted event re-sliced nothing on its own — the final quotas
+    /// paid one re-slice for the whole burst).
+    pub fn remaps_coalesced(&self) -> usize {
+        self.remaps_coalesced
     }
 
     /// The live worker pools this feed's producer dispatches on.
@@ -1342,8 +1889,13 @@ impl IterationFeed {
         self.salvaged.len() + self.pipeline.as_ref().map_or(0, Prefetcher::buffered)
     }
 
-    /// Tear down the producer, recycling buffered iterations.
+    /// Tear down the producer, recycling buffered iterations. A re-map
+    /// still pending (recorded after the epoch's last `obtain`) is
+    /// dropped unapplied — there is no speculative work left for it to
+    /// invalidate, and the next epoch's feed starts from the live
+    /// split's quotas anyway.
     pub fn finish(mut self) {
+        self.pending_remap = None;
         for prep in self.salvaged.drain(..) {
             prep.recycle(&self.pool);
         }
@@ -1362,15 +1914,17 @@ mod tests {
         let dataset = Arc::new(Dataset::toy(5));
         let batcher = EpochBatcher::new(dataset.splits.train.clone(), 99);
         let order = Arc::new(batcher.epoch_order(0));
+        let alloc = ThreadAlloc::default_for(8);
         let ctx = PrepareCtx {
             dataset,
             batcher,
             sampler: NeighborSampler::new(vec![4, 3], 17),
             precision: Precision::F32,
             hybrid: true,
-            workers: Arc::new(StageWorkers::from_alloc(&ThreadAlloc::default_for(8))),
+            workers: Arc::new(StageWorkers::from_alloc(&alloc)),
             numa_domains: 2,
             rings: Arc::new(StagingRings::new(2, ring_depth)),
+            transfer_gate: Arc::new(TransferLaneGate::new(alloc.loader, true)),
             origin: Instant::now(),
         };
         (Arc::new(ctx), order)
@@ -1614,9 +2168,11 @@ mod tests {
         assert_eq!(feed.rings().drains_total(), 0);
         // consumer re-balances: 4 seeds move from trainer 1 (lane 0) to
         // trainer 0 (the CPU). Lane 1's slice is untouched — surgical
-        // invalidation drains only lane 0's ring.
+        // invalidation drains only lane 0's ring (the re-slice itself
+        // is deferred to the next obtain, where it coalesces bursts).
         let new_quotas = vec![12usize, 4, 8];
         feed.invalidate(1, new_quotas.clone());
+        let second = feed.obtain(1, &new_quotas).expect("post-remap iteration");
         assert_eq!(
             feed.rings().ring(0).drains(),
             1,
@@ -1627,7 +2183,6 @@ mod tests {
             0,
             "an untouched lane must not be drained"
         );
-        let second = feed.obtain(1, &new_quotas).expect("post-remap iteration");
         assert_eq!(second.quotas, new_quotas);
         assert_eq!(second.seed_sets[0].len(), 12);
         assert_eq!(second.seed_sets[1].len(), 4);
@@ -1663,15 +2218,100 @@ mod tests {
         );
         let first = feed.obtain(0, &quotas).expect("first iteration");
         first.recycle(&pool);
-        // a balance_work whose quotas equal the old ones must cost nothing
+        // a balance_work whose quotas equal the old ones must cost
+        // nothing — also after the deferred re-slice runs at obtain
         feed.invalidate(1, quotas.clone());
-        assert_eq!(feed.restarts(), 0, "zero-diff re-map restarted producer");
-        assert_eq!(feed.rings().drains_total(), 0, "zero-diff re-map drained");
-        assert_eq!(feed.salvage_stats(), (0, 0), "zero-diff re-map flushed");
         let second = feed.obtain(1, &quotas).expect("second iteration");
         assert_eq!(second.iter, 1);
+        assert_eq!(feed.restarts(), 0, "zero-diff re-map restarted producer");
+        assert_eq!(feed.rings().drains_total(), 0, "zero-diff re-map drained");
+        assert_eq!(
+            feed.rings().channel_drains_total(),
+            0,
+            "zero-diff re-map drained a lane channel"
+        );
+        assert_eq!(feed.salvage_stats(), (0, 0), "zero-diff re-map flushed");
         second.recycle(&pool);
         feed.finish();
+    }
+
+    #[test]
+    fn cancelling_burst_coalesces_to_a_noop() {
+        // two opposite balance_work moves recorded between obtains must
+        // fold into a zero-diff re-map: one coalesce, zero re-slices
+        let (ctx, order) = ctx();
+        let pool = Arc::new(MatrixPool::new());
+        let quotas = vec![8usize, 8, 8];
+        let mut feed = IterationFeed::new(
+            Arc::clone(&ctx),
+            Arc::clone(&order),
+            0,
+            usize::MAX,
+            2,
+            Arc::clone(&pool),
+            quotas.clone(),
+        );
+        let first = feed.obtain(0, &quotas).expect("first iteration");
+        first.recycle(&pool);
+        feed.invalidate(1, vec![12, 4, 8]);
+        feed.invalidate(1, quotas.clone()); // moves back: burst cancels
+        assert_eq!(feed.remaps_coalesced(), 1);
+        let second = feed.obtain(1, &quotas).expect("second iteration");
+        assert_eq!(second.iter, 1);
+        assert_eq!(feed.restarts(), 0, "cancelled burst restarted producer");
+        assert_eq!(feed.rings().drains_total(), 0, "cancelled burst drained");
+        assert_eq!(feed.salvage_stats(), (0, 0), "cancelled burst flushed");
+        second.recycle(&pool);
+        feed.finish();
+    }
+
+    #[test]
+    fn transfer_gate_blocks_at_cap_and_wakes_on_resize() {
+        // a waiter parked on a full gate must wake when balance_thread
+        // widens the cap — not only when a lane exits
+        std::env::set_var("HYSCALE_RAYON_THREADS", "4");
+        let gate = Arc::new(TransferLaneGate::new(1, true));
+        let stop = Arc::new(AtomicBool::new(false));
+        assert!(gate.enter(&stop));
+        assert_eq!(gate.in_flight(), 1);
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || gate.enter(&stop))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(gate.in_flight(), 1, "cap 1 must hold the second lane");
+        gate.on_thread_alloc(&ThreadAlloc {
+            sampler: 1,
+            loader: 2,
+            trainer: 1,
+        });
+        assert_eq!(gate.cap(), 2, "auto mode follows the loader budget");
+        assert!(waiter.join().expect("waiter"), "resize never woke the lane");
+        assert_eq!(gate.in_flight(), 2);
+        gate.exit();
+        gate.exit();
+        assert_eq!(gate.in_flight(), 0);
+        std::env::remove_var("HYSCALE_RAYON_THREADS");
+    }
+
+    #[test]
+    fn transfer_gate_refuses_after_stop() {
+        let gate = Arc::new(TransferLaneGate::new(1, false));
+        let stop = Arc::new(AtomicBool::new(false));
+        assert!(gate.enter(&stop));
+        stop.store(true, Ordering::Release);
+        // full gate + stop: refuse rather than block (shutdown path)
+        assert!(!gate.enter(&stop));
+        // a fixed cap ignores thread re-allocations
+        gate.on_thread_alloc(&ThreadAlloc {
+            sampler: 1,
+            loader: 8,
+            trainer: 1,
+        });
+        assert_eq!(gate.cap(), 1, "fixed cap must not follow the loader");
+        gate.exit();
+        assert_eq!(gate.in_flight(), 0);
     }
 
     #[test]

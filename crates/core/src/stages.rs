@@ -160,9 +160,25 @@ impl StageTimes {
 
     /// Bundled accelerator time `T_Accel = max(T_Tran, T_TA)`
     /// (Algorithm 1 line 1: transfer and accelerator-training times are
-    /// highly correlated).
+    /// highly correlated). This is the paper's *perfect-overlap*
+    /// assumption — equivalent to
+    /// [`accel_with_visible`](Self::accel_with_visible) with the
+    /// double-buffered visible share `(T_Tran - T_TA)⁺`.
     pub fn accel(&self) -> f64 {
         self.transfer.max(self.train_accel)
+    }
+
+    /// Overlap-aware accelerator time: propagation plus the *visible*
+    /// (un-hidden) share of the wire transfer. The staging rings hide
+    /// transfer time behind accelerator compute only when they are deep
+    /// enough (ring depth ≥ 2); a single staging buffer, or a
+    /// bandwidth-bound lane whose wire time exceeds its compute, leaves
+    /// `visible` seconds on the accelerator's critical path — and that
+    /// is what the DRM should balance against, not the optimistic
+    /// `max(T_Tran, T_TA)` bundle. `visible = (T_Tran - T_TA)⁺`
+    /// reproduces [`accel`](Self::accel) exactly.
+    pub fn accel_with_visible(&self, visible_transfer: f64) -> f64 {
+        self.train_accel + visible_transfer.max(0.0)
     }
 
     /// Combined sampling time (CPU and accelerator samplers run
@@ -240,6 +256,28 @@ mod tests {
         let mut x = t();
         x.transfer = 9.0;
         assert_eq!(x.accel(), 9.0);
+    }
+
+    #[test]
+    fn accel_with_visible_generalizes_the_bundle() {
+        let x = t(); // transfer 4, train_accel 6
+                     // the perfect-overlap share reproduces the bundled max
+        assert_eq!(
+            x.accel_with_visible((x.transfer - x.train_accel).max(0.0)),
+            x.accel()
+        );
+        // a fully-visible wire (ring depth 1) adds the whole transfer
+        assert_eq!(x.accel_with_visible(x.transfer), 10.0);
+        // a fully-hidden wire leaves only propagation
+        assert_eq!(x.accel_with_visible(0.0), 6.0);
+        // negative "visible" (measurement jitter) clamps to zero
+        assert_eq!(x.accel_with_visible(-1.0), 6.0);
+        let mut y = t();
+        y.transfer = 9.0; // transfer-bound lane
+        assert_eq!(
+            y.accel_with_visible((y.transfer - y.train_accel).max(0.0)),
+            y.accel()
+        );
     }
 
     #[test]

@@ -107,7 +107,7 @@ fn real_pipeline_demo() {
         let mut trainer = HybridTrainer::new(cfg, dataset.clone());
         let reports = trainer.train_epochs(2);
         let last = reports.last().expect("two epochs");
-        let stages = last.wall_stages;
+        let stages = &last.wall_stages;
         println!(
             "  depth {depth}: epoch wall {:>7.3}s  (stages s/l/t/p {:>6.1}/{:>5.1}/{:>6.1}/{:>6.1} ms, \
              overlap {:>4.2}x, transfer hidden {:>3.0}%, loss {:.3})",

@@ -294,12 +294,19 @@ fn thread_allocs_are_bitwise_identical_across_depths() {
 }
 
 /// Live DRM with both move kinds firing mid-epoch: `balance_work`
-/// re-maps quotas (draining the queue *and* the staging rings) and
-/// `balance_thread` re-sizes the worker pools in place (draining
-/// neither) — weights, losses, and the DRM trajectory itself must stay
-/// bitwise-identical to serial at prefetch depths {1, 2} × staging-ring
-/// depths {1, 2}, and the measured-wall trace must show the thread
-/// shift landing.
+/// re-maps quotas (draining the queue *and* the changed lanes' staging
+/// rings) and `balance_thread` re-sizes the worker pools and transfer
+/// lane cap in place (draining nothing) — weights, losses, and the DRM
+/// trajectory itself must stay bitwise-identical to serial at prefetch
+/// depths {1, 2}, for each staging-ring depth {1, 2}, and the
+/// measured-wall trace must show the thread shift landing.
+///
+/// The serial reference is taken *per ring depth*: the overlap-aware
+/// DRM legitimately decides differently at ring depth 1 (the wire is
+/// fully visible on the accelerator's critical path) than at depth 2
+/// (double-buffered), so ring depth steers the trajectory — but
+/// *prefetch depth never may*: any real-pipeline depth must reproduce
+/// its own ring depth's serial trajectory bitwise.
 #[test]
 fn thread_rebalance_mid_epoch_is_bitwise_identical() {
     use hyscale::core::drm::DrmAction;
@@ -344,13 +351,14 @@ fn thread_rebalance_mid_epoch_is_bitwise_identical() {
             observed_allocs,
         )
     };
-    let (serial_params, serial_losses, serial_actions, serial_moves, serial_allocs) = run(0, 2);
+    let ring2_serial = run(0, 2);
+    let (_, _, ref ring2_actions, ring2_moves, ref serial_allocs) = ring2_serial;
     assert!(
-        serial_moves >= 1,
+        ring2_moves >= 1,
         "config never triggered a balance_thread move — the re-allocation path went unexercised"
     );
     assert!(
-        serial_actions
+        ring2_actions
             .iter()
             .any(|(_, a, _)| matches!(a, DrmAction::BalanceWork { .. })),
         "config never triggered a balance_work move — the ring-drain path went unexercised"
@@ -366,6 +374,12 @@ fn thread_rebalance_mid_epoch_is_bitwise_identical() {
         "balance_thread never shifted the widths the producer observed: {serial_allocs:?}"
     );
     for ring_depth in [1usize, 2] {
+        // ring 2's serial reference was already computed above
+        let (serial_params, serial_losses, serial_actions, serial_moves, _) = if ring_depth == 2 {
+            ring2_serial.clone()
+        } else {
+            run(0, ring_depth)
+        };
         for depth in [1usize, 2] {
             let (params, losses, actions, moves, _) = run(depth, ring_depth);
             assert_eq!(

@@ -526,6 +526,26 @@ impl WorkerGroup {
         });
     }
 
+    /// Fair sub-share of this group's **effective** width for lane
+    /// `lane` of `lanes` concurrent lanes (earlier lanes take the
+    /// remainder; every lane gets at least one thread). This is the
+    /// width arithmetic behind [`fan_out`](Self::fan_out), exposed so
+    /// long-lived per-accelerator lane threads (the prefetcher's
+    /// transfer lanes) can size their nested dispatches the same way a
+    /// transient fan-out would.
+    pub fn sub_width(&self, lanes: usize, lane: usize) -> usize {
+        let lanes = lanes.max(1);
+        let effective = self.effective_width();
+        (effective / lanes + usize::from(lane < effective % lanes)).max(1)
+    }
+
+    /// A detached sub-group of [`sub_width`](Self::sub_width) threads,
+    /// carrying this group's label. The sub-group snapshots the width at
+    /// creation; re-create it per dispatch to observe live re-sizes.
+    pub fn sub_group(&self, lanes: usize, lane: usize) -> WorkerGroup {
+        WorkerGroup::new(self.label, self.sub_width(lanes, lane))
+    }
+
     /// Per-accelerator fan-out: process `n` independent items on up to
     /// `effective_width()` lanes. Lane `l` handles items `l, l + lanes,
     /// …` in order, and every item receives a *sub-group* whose width is
@@ -543,12 +563,7 @@ impl WorkerGroup {
         }
         let effective = self.effective_width();
         let lanes = effective.min(n).max(1);
-        let sub = |lane: usize| {
-            WorkerGroup::new(
-                self.label,
-                (effective / lanes + usize::from(lane < effective % lanes)).max(1),
-            )
-        };
+        let sub = |lane: usize| self.sub_group(lanes, lane);
         if lanes <= 1 {
             let g = sub(0);
             for i in 0..n {
@@ -899,6 +914,28 @@ mod tests {
         assert!(item_hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert!(width_sum.load(Ordering::Relaxed) <= 4 + 3);
         std::env::remove_var("HYSCALE_RAYON_THREADS");
+    }
+
+    #[test]
+    fn sub_widths_are_fair_and_positive() {
+        let g = super::WorkerGroup::new("loader", 5);
+        let effective = g.effective_width();
+        for lanes in 1..=8 {
+            let shares: Vec<usize> = (0..lanes).map(|l| g.sub_width(lanes, l)).collect();
+            // every lane gets at least one thread
+            assert!(shares.iter().all(|&s| s >= 1), "{shares:?}");
+            // fair: earlier lanes take the remainder, spread stays ≤ 1
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{shares:?}");
+            // shares cover the effective width exactly once lanes fit
+            if lanes <= effective {
+                assert_eq!(shares.iter().sum::<usize>(), effective, "{shares:?}");
+            }
+        }
+        assert_eq!(g.sub_group(2, 0).label(), "loader");
+        assert_eq!(g.sub_group(2, 0).width(), g.sub_width(2, 0));
+        // degenerate lane count clamps to a single full-width lane
+        assert_eq!(g.sub_width(0, 0), effective);
     }
 
     #[test]
